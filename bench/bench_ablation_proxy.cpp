@@ -1,0 +1,73 @@
+// Ablation: proxy-based asynchronous progress (DESIGN.md §5.2). Compares
+// large inter-node D-D gets and their one-sidedness with the proxy enabled
+// vs disabled (falling back to direct GDR reads through the P2P read cap).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/ctx.hpp"
+#include "core/runtime.hpp"
+
+using namespace gdrshmem;
+using core::Ctx;
+using core::Domain;
+
+namespace {
+
+struct ProxyProbe {
+  double get_us = 0;        // blocking 1 MB get latency
+  double busy_get_us = 0;   // same, while the owning PE busy-computes 2 ms
+};
+
+ProxyProbe measure(bool use_proxy, bool same_socket) {
+  ProxyProbe probe;
+  for (int busy = 0; busy < 2; ++busy) {
+    hw::ClusterConfig cluster;
+    cluster.num_nodes = 2;
+    cluster.pes_per_node = 2;
+    cluster.hca_gpu_same_socket = same_socket;
+    core::RuntimeOptions opts;
+    opts.tuning.use_proxy = use_proxy;
+    core::Runtime rt(cluster, opts);
+    double us = 0;
+    rt.run([&](Ctx& ctx) {
+      constexpr std::size_t kBytes = 1u << 20;
+      void* sym = ctx.shmalloc(kBytes, Domain::kGpu);
+      void* local = ctx.cuda_malloc(kBytes);
+      if (ctx.my_pe() == 0) ctx.getmem(local, sym, kBytes, 2);  // warmup
+      ctx.barrier_all();
+      if (ctx.my_pe() == 0) {
+        sim::Time t0 = ctx.now();
+        ctx.getmem(local, sym, kBytes, 2);
+        us = (ctx.now() - t0).to_us();
+      } else if (ctx.my_pe() == 2 && busy == 1) {
+        ctx.compute(sim::Duration::us(2000));
+      }
+      ctx.barrier_all();
+    });
+    (busy == 0 ? probe.get_us : probe.busy_get_us) = us;
+  }
+  return probe;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Ablation: 1 MB inter-node D-D get, proxy on/off (us) ==\n");
+  std::printf("%-14s %-10s %-14s %-18s\n", "placement", "proxy", "idle target",
+              "busy target (2ms)");
+  for (bool same_socket : {true, false}) {
+    for (bool proxy : {true, false}) {
+      ProxyProbe p = measure(proxy, same_socket);
+      std::printf("%-14s %-10s %-14.1f %-18.1f\n",
+                  same_socket ? "intra-socket" : "inter-socket",
+                  proxy ? "on" : "off", p.get_us, p.busy_get_us);
+      std::string tag = std::string("ablation_proxy/") +
+                        (same_socket ? "intra" : "inter") + "_socket/" +
+                        (proxy ? "on" : "off");
+      bench::add_point(tag + "/idle", p.get_us);
+      bench::add_point(tag + "/busy", p.busy_get_us);
+    }
+  }
+  std::printf("\n");
+  return bench::report_and_run(argc, argv);
+}

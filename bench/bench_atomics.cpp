@@ -1,0 +1,70 @@
+// Section III-D extension bench: OpenSHMEM atomics latency on host vs GPU
+// symmetric memory, intra- vs inter-node, including the 32-bit mask
+// technique (two hardware atomics per operation).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/ctx.hpp"
+#include "core/runtime.hpp"
+
+using namespace gdrshmem;
+using core::Ctx;
+using core::Domain;
+
+namespace {
+
+struct AtomicLat {
+  double fadd64 = 0, cswap64 = 0, fadd32 = 0;
+};
+
+AtomicLat measure(bool intra, Domain domain) {
+  hw::ClusterConfig cluster;
+  cluster.num_nodes = 2;
+  cluster.pes_per_node = 2;
+  core::RuntimeOptions opts;
+  core::Runtime rt(cluster, opts);
+  const int target = intra ? 1 : 2;
+  AtomicLat lat;
+  constexpr int kIters = 50;
+  rt.run([&](Ctx& ctx) {
+    auto* w64 = static_cast<std::int64_t*>(ctx.shmalloc(8, domain));
+    auto* w32 = static_cast<std::int32_t*>(ctx.shmalloc(8, domain));
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      sim::Time t0 = ctx.now();
+      for (int i = 0; i < kIters; ++i) ctx.atomic_fetch_add(w64, 1, target);
+      lat.fadd64 = (ctx.now() - t0).to_us() / kIters;
+      t0 = ctx.now();
+      for (int i = 0; i < kIters; ++i) ctx.atomic_compare_swap(w64, i, i + 1, target);
+      lat.cswap64 = (ctx.now() - t0).to_us() / kIters;
+      t0 = ctx.now();
+      for (int i = 0; i < kIters; ++i) ctx.atomic_fetch_add32(w32, 1, target);
+      lat.fadd32 = (ctx.now() - t0).to_us() / kIters;
+    }
+    ctx.barrier_all();
+  });
+  return lat;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Atomics: IB hardware atomic latency (us) ==\n");
+  std::printf("%-10s %-8s %-12s %-12s %-16s\n", "scope", "domain", "fadd64",
+              "cswap64", "fadd32 (masked)");
+  for (bool intra : {true, false}) {
+    for (Domain d : {Domain::kHost, Domain::kGpu}) {
+      AtomicLat lat = measure(intra, d);
+      std::printf("%-10s %-8s %-12.2f %-12.2f %-16.2f\n",
+                  intra ? "intra" : "inter", core::to_string(d), lat.fadd64,
+                  lat.cswap64, lat.fadd32);
+      std::string tag = std::string("atomics/") + (intra ? "intra" : "inter") +
+                        "/" + core::to_string(d);
+      bench::add_point(tag + "/fadd64", lat.fadd64);
+      bench::add_point(tag + "/cswap64", lat.cswap64);
+      bench::add_point(tag + "/fadd32_masked", lat.fadd32);
+    }
+  }
+  std::printf("\n");
+  return bench::report_and_run(argc, argv);
+}

@@ -1,0 +1,62 @@
+// Extension bench: link contention — multiple PE pairs streaming large GPU
+// messages across the same fabric. Validates that the modeled PCIe/IB links
+// are genuinely shared resources (per-pair bandwidth drops as pairs fight
+// over ports) and that one proxy per node remains sufficient, as the paper
+// claims ("a single proxy is enough to saturate the PCIe and network
+// bandwidths").
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/ctx.hpp"
+#include "core/runtime.hpp"
+
+using namespace gdrshmem;
+using core::Ctx;
+using core::Domain;
+
+namespace {
+
+/// `pairs` PEs per node all put 4 MB D->D to their counterpart on the other
+/// node; returns aggregate bandwidth (MB/s) and per-pair average.
+std::pair<double, double> contended_bw(int pairs) {
+  hw::ClusterConfig cluster;
+  cluster.num_nodes = 2;
+  cluster.pes_per_node = pairs;
+  cluster.gpus_per_node = 2;
+  cluster.hcas_per_node = 2;
+  core::RuntimeOptions opts;
+  opts.gpu_heap_bytes = 16u << 20;
+  core::Runtime rt(cluster, opts);
+  constexpr std::size_t kBytes = 4u << 20;
+  double total_us = 0;
+  rt.run([&](Ctx& ctx) {
+    void* sym = ctx.shmalloc(kBytes, Domain::kGpu);
+    void* src = ctx.cuda_malloc(kBytes);
+    ctx.barrier_all();
+    sim::Time t0 = ctx.now();
+    if (ctx.my_pe() < pairs) {  // node-0 PEs push to node-1 partners
+      ctx.putmem(sym, src, kBytes, ctx.my_pe() + pairs);
+      ctx.quiet();
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) total_us = (ctx.now() - t0).to_us();
+  });
+  double aggregate = static_cast<double>(kBytes) * pairs / total_us;
+  return {aggregate, aggregate / pairs};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== contention: concurrent 4 MB D-D streams across one fabric ==\n");
+  std::printf("%-8s %-20s %-20s\n", "pairs", "aggregate MB/s", "per-pair MB/s");
+  for (int pairs : {1, 2, 4, 8}) {
+    auto [agg, per] = contended_bw(pairs);
+    std::printf("%-8d %-20.0f %-20.0f\n", pairs, agg, per);
+    bench::add_point("contention/pairs" + std::to_string(pairs) + "/aggregate",
+                     agg);
+  }
+  std::printf("\n(two FDR HCAs per node: aggregate should plateau around\n"
+              " 2 x 6397 MB/s while per-pair bandwidth shrinks)\n\n");
+  return bench::report_and_run(argc, argv);
+}

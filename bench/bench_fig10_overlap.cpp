@@ -1,0 +1,46 @@
+// Figure 10: communication/computation overlap during a put while the
+// target busy-computes — medium (8 KB) and large (1 MB) messages, host
+// pipeline vs the proposed truly one-sided design.
+#include <cstdio>
+
+#include "common.hpp"
+#include "omb/omb.hpp"
+
+using namespace gdrshmem;
+
+namespace {
+
+void panel(const char* name, std::size_t bytes,
+           const std::vector<double>& compute_probes) {
+  std::printf("== fig10 %s: put comm time (us) vs target compute (us), %s ==\n",
+              name, bench::size_label(bytes).c_str());
+  std::printf("%-14s %-24s %-24s\n", "target busy", "host-pipeline comm",
+              "enhanced-gdr comm");
+  omb::OverlapConfig cfg;
+  cfg.bytes = bytes;
+  cfg.target_compute_us = compute_probes;
+  cfg.iters = 10;
+  cfg.transport = core::TransportKind::kEnhancedGdr;
+  auto enhanced = omb::run_overlap(cfg);
+  cfg.transport = core::TransportKind::kHostPipeline;
+  auto baseline = omb::run_overlap(cfg);
+  for (std::size_t i = 0; i < enhanced.size(); ++i) {
+    std::printf("%-14.0f %-10.2f (%3.0f%% ov) %-10.2f (%3.0f%% ov)\n",
+                enhanced[i].target_compute_us, baseline[i].comm_time_us,
+                baseline[i].overlap_pct, enhanced[i].comm_time_us,
+                enhanced[i].overlap_pct);
+    std::string tag = std::string("fig10/") + name + "/busy" +
+                      std::to_string(static_cast<int>(enhanced[i].target_compute_us));
+    bench::add_point(tag + "/enhanced", enhanced[i].comm_time_us);
+    bench::add_point(tag + "/baseline", baseline[i].comm_time_us);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  panel("medium", 8 * 1024, {10, 25, 50, 100, 200, 400});
+  panel("large", 1u << 20, {100, 250, 500, 1000, 2000, 4000});
+  return bench::report_and_run(argc, argv);
+}

@@ -1,0 +1,83 @@
+// Figure 12: GPULBM evolution-phase time, strong scaling (128^3 total) and
+// weak scaling (64^3 per GPU), host pipeline vs Enhanced-GDR. The paper
+// runs long production iteration counts; we simulate 30 evolution steps and
+// report time per step x 1000 as the "evolution time" equivalent.
+#include <cstdio>
+
+#include "apps/lbm.hpp"
+#include "common.hpp"
+
+using namespace gdrshmem;
+
+namespace {
+
+constexpr int kIters = 30;
+constexpr double kReportSteps = 1000.0;
+
+double run_once(std::size_t x, std::size_t y, std::size_t z, int gpus,
+                core::TransportKind kind) {
+  hw::ClusterConfig cluster;
+  cluster.pes_per_node = 2;
+  cluster.num_nodes = gpus / 2;
+  core::RuntimeOptions opts;
+  opts.transport = kind;
+  opts.host_heap_bytes = 4u << 20;
+  // 35 float fields of X*Y*(lz+2) plus slack.
+  std::size_t lz = z / static_cast<std::size_t>(gpus);
+  std::size_t field = x * y * (lz + 2) * sizeof(float);
+  opts.gpu_heap_bytes = 40 * field + (8u << 20);
+  apps::LbmConfig cfg;
+  cfg.x = x;
+  cfg.y = y;
+  cfg.z = z;
+  cfg.iterations = kIters;
+  cfg.functional = false;
+  // The Fig 12 baseline is the original CUDA-aware MPI send/recv version:
+  // host-staged pipeline transport with blocking per-message exchange.
+  cfg.blocking_exchange = (kind == core::TransportKind::kHostPipeline);
+  auto res = run_lbm(cluster, opts, cfg);
+  return res.evolution_ms * (kReportSteps / kIters);
+}
+
+void strong_scaling() {
+  std::printf("== fig12(a): LBM evolution time (ms per %0.f steps), strong "
+              "scaling, 128x128x128 ==\n", kReportSteps);
+  std::printf("%-8s %-18s %-18s %s\n", "GPUs", "host-pipeline", "enhanced-gdr",
+              "improvement");
+  for (int gpus : {8, 16, 32, 64}) {
+    double base = run_once(128, 128, 128, gpus, core::TransportKind::kHostPipeline);
+    double enh = run_once(128, 128, 128, gpus, core::TransportKind::kEnhancedGdr);
+    std::printf("%-8d %-18.1f %-18.1f %.0f%%\n", gpus, base, enh,
+                100.0 * (1.0 - enh / base));
+    std::string tag = "fig12/strong128/gpus" + std::to_string(gpus);
+    bench::add_point(tag + "/baseline", base * 1000.0);
+    bench::add_point(tag + "/enhanced", enh * 1000.0);
+  }
+  std::printf("\n");
+}
+
+void weak_scaling() {
+  std::printf("== fig12(b): LBM evolution time (ms per %0.f steps), weak "
+              "scaling, 64^3 per GPU ==\n", kReportSteps);
+  std::printf("%-8s %-18s %-18s %s\n", "GPUs", "host-pipeline", "enhanced-gdr",
+              "improvement");
+  for (int gpus : {8, 16, 32, 64}) {
+    std::size_t z = 64 * static_cast<std::size_t>(gpus);
+    double base = run_once(64, 64, z, gpus, core::TransportKind::kHostPipeline);
+    double enh = run_once(64, 64, z, gpus, core::TransportKind::kEnhancedGdr);
+    std::printf("%-8d %-18.1f %-18.1f %.0f%%\n", gpus, base, enh,
+                100.0 * (1.0 - enh / base));
+    std::string tag = "fig12/weak64/gpus" + std::to_string(gpus);
+    bench::add_point(tag + "/baseline", base * 1000.0);
+    bench::add_point(tag + "/enhanced", enh * 1000.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  strong_scaling();
+  weak_scaling();
+  return bench::report_and_run(argc, argv);
+}

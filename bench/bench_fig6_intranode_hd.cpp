@@ -1,0 +1,10 @@
+// Figure 6: intra-node Host-to-Device (H-D) put/get latency, host-based
+// pipelining vs the proposed GDR-based designs, small and large messages.
+#include "latency_figure.hpp"
+
+int main(int argc, char** argv) {
+  gdrshmem::bench::latency_figure("fig6", /*intra=*/true, gdrshmem::omb::Loc::kHost,
+                                  gdrshmem::core::Domain::kGpu,
+                                  /*include_baseline=*/true);
+  return gdrshmem::bench::report_and_run(argc, argv);
+}

@@ -1,0 +1,11 @@
+// Figure 7: intra-node Device-to-Host (D-H) put/get latency, host-based
+// pipelining vs the proposed GDR/shmem_ptr designs.
+#include "latency_figure.hpp"
+
+int main(int argc, char** argv) {
+  gdrshmem::bench::latency_figure("fig7", /*intra=*/true,
+                                  gdrshmem::omb::Loc::kDevice,
+                                  gdrshmem::core::Domain::kHost,
+                                  /*include_baseline=*/true);
+  return gdrshmem::bench::report_and_run(argc, argv);
+}

@@ -1,0 +1,11 @@
+// Figure 8: inter-node Device-to-Device (D-D) put/get latency, host-based
+// pipelining vs Direct GDR / pipeline-GDR-write / proxy designs.
+#include "latency_figure.hpp"
+
+int main(int argc, char** argv) {
+  gdrshmem::bench::latency_figure("fig8", /*intra=*/false,
+                                  gdrshmem::omb::Loc::kDevice,
+                                  gdrshmem::core::Domain::kGpu,
+                                  /*include_baseline=*/true);
+  return gdrshmem::bench::report_and_run(argc, argv);
+}

@@ -1,0 +1,12 @@
+// Figure 9: inter-node D-H and H-D put/get latency. The existing solution
+// has no inter-domain path (Section V-B), so only the proposed design runs.
+#include "latency_figure.hpp"
+
+int main(int argc, char** argv) {
+  using gdrshmem::bench::latency_figure;
+  latency_figure("fig9", /*intra=*/false, gdrshmem::omb::Loc::kDevice,
+                 gdrshmem::core::Domain::kHost, /*include_baseline=*/false);
+  latency_figure("fig9", /*intra=*/false, gdrshmem::omb::Loc::kHost,
+                 gdrshmem::core::Domain::kGpu, /*include_baseline=*/false);
+  return gdrshmem::bench::report_and_run(argc, argv);
+}

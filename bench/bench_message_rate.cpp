@@ -1,0 +1,66 @@
+// Extension bench: small-message rate (million messages/s) for GPU-GPU
+// puts — the metric that matters for the irregular PGAS workloads the
+// paper's introduction motivates (graph algorithms, dynamic load balance).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/ctx.hpp"
+#include "core/runtime.hpp"
+
+using namespace gdrshmem;
+using core::Ctx;
+using core::Domain;
+
+namespace {
+
+double message_rate_mps(core::TransportKind kind, std::size_t bytes, int window) {
+  hw::ClusterConfig cluster;
+  cluster.num_nodes = 2;
+  cluster.pes_per_node = 1;
+  core::RuntimeOptions opts;
+  opts.transport = kind;
+  core::Runtime rt(cluster, opts);
+  double rate = 0;
+  rt.run([&](Ctx& ctx) {
+    constexpr int kIters = 20;
+    auto* sym = static_cast<std::byte*>(
+        ctx.shmalloc(bytes * static_cast<std::size_t>(window), Domain::kGpu));
+    auto* src = static_cast<std::byte*>(ctx.cuda_malloc(bytes));
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      for (int w = 0; w < window; ++w) {  // warmup window
+        ctx.putmem_nbi(sym + w * bytes, src, bytes, 1);
+      }
+      ctx.quiet();
+      sim::Time t0 = ctx.now();
+      for (int i = 0; i < kIters; ++i) {
+        for (int w = 0; w < window; ++w) {
+          ctx.putmem_nbi(sym + w * bytes, src, bytes, 1);
+        }
+        ctx.quiet();
+      }
+      double us = (ctx.now() - t0).to_us();
+      rate = (static_cast<double>(window) * kIters) / us;  // msgs per us
+    }
+    ctx.barrier_all();
+  });
+  return rate;  // == million msgs/s
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== message rate: D->D(remote GPU) nbi puts, window=64 "
+              "(Mmsg/s) ==\n");
+  std::printf("%-8s %-16s %-16s\n", "size", "host-pipeline", "enhanced-gdr");
+  for (std::size_t bytes : {8u, 64u, 512u, 4096u}) {
+    double base = message_rate_mps(core::TransportKind::kHostPipeline, bytes, 64);
+    double enh = message_rate_mps(core::TransportKind::kEnhancedGdr, bytes, 64);
+    std::printf("%-8zu %-16.3f %-16.3f\n", bytes, base, enh);
+    std::string tag = "msgrate/" + std::to_string(bytes) + "B";
+    bench::add_point(tag + "/baseline_mmps", base);
+    bench::add_point(tag + "/enhanced_mmps", enh);
+  }
+  std::printf("\n");
+  return bench::report_and_run(argc, argv);
+}

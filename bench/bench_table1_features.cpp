@@ -1,0 +1,108 @@
+// Table I: feature/design/configuration support matrix of the three
+// runtime designs — measured, not asserted: each configuration is probed
+// for support (does the op complete?) and for true one-sidedness (does a
+// busy target stall an 8 KB put?).
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/ctx.hpp"
+#include "core/runtime.hpp"
+
+using namespace gdrshmem;
+using core::Ctx;
+using core::Domain;
+using core::TransportKind;
+
+namespace {
+
+bool probe_support(TransportKind kind, bool intra, bool local_dev, Domain remote) {
+  hw::ClusterConfig cluster;
+  cluster.num_nodes = 2;
+  cluster.pes_per_node = 2;
+  core::RuntimeOptions opts;
+  opts.transport = kind;
+  core::Runtime rt(cluster, opts);
+  bool ok = true;
+  rt.run([&](Ctx& ctx) {
+    void* sym = ctx.shmalloc(4096, remote);
+    std::vector<std::byte> host(4096);
+    void* local = local_dev ? ctx.cuda_malloc(4096) : host.data();
+    if (ctx.my_pe() == 0) {
+      try {
+        ctx.putmem(sym, local, 4096, intra ? 1 : 2);
+        ctx.quiet();
+      } catch (const core::UnsupportedError&) {
+        ok = false;
+      }
+    }
+    ctx.barrier_all();
+  });
+  return ok;
+}
+
+/// True one-sidedness probe: 8 KB D-D put with a 300 us busy target — does
+/// the communication time stay flat?
+bool probe_one_sided(TransportKind kind, bool intra) {
+  hw::ClusterConfig cluster;
+  cluster.num_nodes = 2;
+  cluster.pes_per_node = 2;
+  core::RuntimeOptions opts;
+  opts.transport = kind;
+  core::Runtime rt(cluster, opts);
+  double comm_us = 0;
+  bool supported = true;
+  const int target = intra ? 1 : 2;
+  rt.run([&](Ctx& ctx) {
+    void* sym = ctx.shmalloc(8192, Domain::kGpu);
+    void* local = ctx.cuda_malloc(8192);
+    if (ctx.my_pe() == 0) {
+      try {
+        ctx.putmem(sym, local, 8192, target);
+        ctx.quiet();
+      } catch (const core::UnsupportedError&) {
+        supported = false;
+      }
+    }
+    ctx.barrier_all();
+    if (!supported) return;
+    if (ctx.my_pe() == 0) {
+      sim::Time t0 = ctx.now();
+      ctx.putmem(sym, local, 8192, target);
+      ctx.quiet();
+      comm_us = (ctx.now() - t0).to_us();
+    } else if (ctx.my_pe() == target) {
+      ctx.compute(sim::Duration::us(300));
+    }
+    ctx.barrier_all();
+  });
+  return supported && comm_us < 100.0;
+}
+
+const char* yn(bool b) { return b ? "yes" : "NO"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== Table I: configuration support and one-sidedness by design ==\n");
+  std::printf("%-16s %-8s %-6s %-6s %-6s %-6s %-12s\n", "design", "scope", "H-H",
+              "H-D", "D-H", "D-D", "one-sided");
+  for (TransportKind kind : {TransportKind::kNaive, TransportKind::kHostPipeline,
+                             TransportKind::kEnhancedGdr}) {
+    for (bool intra : {true, false}) {
+      bool hh = probe_support(kind, intra, false, Domain::kHost);
+      bool hd = probe_support(kind, intra, false, Domain::kGpu);
+      bool dh = probe_support(kind, intra, true, Domain::kHost);
+      bool dd = probe_support(kind, intra, true, Domain::kGpu);
+      bool os = dd && probe_one_sided(kind, intra);
+      std::printf("%-16s %-8s %-6s %-6s %-6s %-6s %-12s\n", core::to_string(kind),
+                  intra ? "intra" : "inter", yn(hh), yn(hd), yn(dh), yn(dd),
+                  dd ? yn(os) : "n/a");
+      gdrshmem::bench::add_point(
+          std::string("table1/") + core::to_string(kind) + "/" +
+              (intra ? "intra" : "inter") + "/supported_configs",
+          static_cast<double>(hh + hd + dh + dd));
+    }
+  }
+  std::printf("\n");
+  return gdrshmem::bench::report_and_run(argc, argv);
+}

@@ -1,0 +1,83 @@
+// Table II: 4-byte put latency at the IB verbs level and at the OpenSHMEM
+// level, for inter-node Host-Host and GPU-GPU. The paper uses this gap —
+// raw GDR is fast, the then-current OpenSHMEM GPU path is ~20 us — to
+// motivate the GDR-aware runtime; we print the baseline *and* what the
+// proposed runtime closes the gap to.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "ib/verbs.hpp"
+#include "omb/omb.hpp"
+
+using namespace gdrshmem;
+
+namespace {
+
+/// Raw verbs-level RDMA write latency (post to ACK), 4 bytes.
+double ib_level_latency(bool gpu_buffers) {
+  hw::ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.pes_per_node = 1;
+  hw::Cluster cluster(cfg);
+  sim::Engine eng;
+  cudart::CudaRuntime cuda(eng, cluster);
+  ib::Verbs verbs(eng, cluster, cuda);
+
+  std::vector<std::byte> host_src(64), host_dst(64);
+  void* src = host_src.data();
+  void* dst = host_dst.data();
+  if (gpu_buffers) {
+    src = cuda.malloc_device(0, 0, 64);
+    dst = cuda.malloc_device(1, 0, 64);
+  }
+  verbs.reg_cache().register_at_init(0, src, 64);
+  verbs.reg_cache().register_at_init(1, dst, 64);
+
+  double us = 0;
+  eng.spawn("initiator", [&](sim::Process& p) {
+    constexpr int kIters = 100;
+    for (int i = 0; i < 5; ++i) verbs.rdma_write(p, 0, src, 1, dst, 4)->wait(p);
+    sim::Time t0 = eng.now();
+    for (int i = 0; i < kIters; ++i) verbs.rdma_write(p, 0, src, 1, dst, 4)->wait(p);
+    us = (eng.now() - t0).to_us() / kIters;
+  });
+  eng.run();
+  return us;
+}
+
+double shmem_level_latency(core::TransportKind kind, bool gpu) {
+  omb::LatencyConfig cfg;
+  cfg.transport = kind;
+  cfg.intra_node = false;
+  cfg.local = gpu ? omb::Loc::kDevice : omb::Loc::kHost;
+  cfg.remote = gpu ? core::Domain::kGpu : core::Domain::kHost;
+  cfg.sizes = {4};
+  return omb::run_latency(cfg)[0].latency_us;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double ib_hh = ib_level_latency(false);
+  double ib_dd = ib_level_latency(true);
+  double shmem_hh = shmem_level_latency(core::TransportKind::kEnhancedGdr, false);
+  double shmem_dd_base = shmem_level_latency(core::TransportKind::kHostPipeline, true);
+  double shmem_dd_enh = shmem_level_latency(core::TransportKind::kEnhancedGdr, true);
+
+  std::printf("== Table II: 4 B inter-node put latency (us) ==\n");
+  std::printf("%-34s %-12s %-12s\n", "level", "Host-Host", "GPU-GPU");
+  std::printf("%-34s %-12.2f %-12.2f\n", "IB verbs (RDMA write)", ib_hh, ib_dd);
+  std::printf("%-34s %-12.2f %-12.2f\n", "OpenSHMEM put (host pipeline)",
+              shmem_hh, shmem_dd_base);
+  std::printf("%-34s %-12.2f %-12.2f\n", "OpenSHMEM put (enhanced GDR)",
+              shmem_hh, shmem_dd_enh);
+  std::printf("\n");
+
+  bench::add_point("table2/ib/hh", ib_hh);
+  bench::add_point("table2/ib/dd", ib_dd);
+  bench::add_point("table2/shmem_baseline/dd", shmem_dd_base);
+  bench::add_point("table2/shmem_enhanced/dd", shmem_dd_enh);
+  bench::add_point("table2/shmem/hh", shmem_hh);
+  return bench::report_and_run(argc, argv);
+}

@@ -1,0 +1,61 @@
+// Shared plumbing for the per-table/per-figure benchmark binaries.
+//
+// Each binary computes its experiment data once (virtual-time simulation),
+// prints the paper-style table/series, and registers one google-benchmark
+// entry per data point that reports the cached virtual time as manual time —
+// so `./bench_figX` emits both the paper-shaped table and standard
+// benchmark output without re-running the simulations.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gdrshmem::bench {
+
+struct Point {
+  std::string name;      // benchmark entry name, e.g. "fig6/put/enhanced/4B"
+  double virtual_us = 0; // measured virtual time for the op/run
+};
+
+inline std::vector<Point>& points() {
+  static std::vector<Point> pts;
+  return pts;
+}
+
+inline void add_point(std::string name, double virtual_us) {
+  points().push_back(Point{std::move(name), virtual_us});
+}
+
+/// Register every cached point as a manual-time benchmark and run them.
+inline int report_and_run(int argc, char** argv) {
+  for (const Point& p : points()) {
+    benchmark::RegisterBenchmark(p.name.c_str(), [p](benchmark::State& state) {
+      for (auto _ : state) {
+        state.SetIterationTime(p.virtual_us * 1e-6);
+      }
+      state.counters["virtual_us"] = p.virtual_us;
+    })->UseManualTime()->Iterations(1);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+/// Pretty size label (paper figures use powers of two).
+inline std::string size_label(std::size_t bytes) {
+  char buf[32];
+  if (bytes >= (1u << 20)) {
+    std::snprintf(buf, sizeof buf, "%zuM", bytes >> 20);
+  } else if (bytes >= 1024) {
+    std::snprintf(buf, sizeof buf, "%zuK", bytes >> 10);
+  } else {
+    std::snprintf(buf, sizeof buf, "%zuB", bytes);
+  }
+  return buf;
+}
+
+}  // namespace gdrshmem::bench

@@ -1,0 +1,67 @@
+// Shared driver for the latency figures (Figs 6-9): put/get, small/large
+// sweeps, Host-Pipeline baseline vs Enhanced-GDR, printed as the paper's
+// four panels per figure.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+
+#include "common.hpp"
+#include "omb/omb.hpp"
+
+namespace gdrshmem::bench {
+
+inline void latency_figure(const std::string& fig, bool intra, omb::Loc local,
+                           core::Domain remote, bool include_baseline) {
+  using omb::LatencyConfig;
+  const char* cfg_name = local == omb::Loc::kHost
+                             ? (remote == core::Domain::kGpu ? "H-D" : "H-H")
+                             : (remote == core::Domain::kGpu ? "D-D" : "D-H");
+  std::printf("== %s: %s-node %s latency (us) ==\n", fig.c_str(),
+              intra ? "intra" : "inter", cfg_name);
+  for (bool is_put : {true, false}) {
+    for (bool small : {true, false}) {
+      LatencyConfig cfg;
+      cfg.intra_node = intra;
+      cfg.local = local;
+      cfg.remote = remote;
+      cfg.is_put = is_put;
+      cfg.sizes = small ? omb::small_message_sizes() : omb::large_message_sizes();
+      cfg.iters = small ? 100 : 20;
+
+      cfg.transport = core::TransportKind::kEnhancedGdr;
+      auto enhanced = omb::run_latency(cfg);
+      std::optional<std::vector<omb::LatencyPoint>> baseline;
+      if (include_baseline) {
+        cfg.transport = core::TransportKind::kHostPipeline;
+        baseline = omb::run_latency(cfg);
+      }
+
+      std::printf("-- %s, %s messages --\n", is_put ? "Put" : "Get",
+                  small ? "small" : "large");
+      if (baseline) {
+        std::printf("%-8s %-16s %-16s %s\n", "size", "host-pipeline",
+                    "enhanced-gdr", "improvement");
+      } else {
+        std::printf("%-8s %-16s\n", "size", "enhanced-gdr");
+      }
+      for (std::size_t i = 0; i < enhanced.size(); ++i) {
+        const auto& e = enhanced[i];
+        std::string tag = fig + "/" + (is_put ? "put" : "get") + "/" +
+                          (small ? "small" : "large") + "/" + size_label(e.bytes);
+        add_point(tag + "/enhanced", e.latency_us);
+        if (baseline) {
+          const auto& b = (*baseline)[i];
+          add_point(tag + "/baseline", b.latency_us);
+          std::printf("%-8s %-16.2f %-16.2f %.2fx\n", size_label(e.bytes).c_str(),
+                      b.latency_us, e.latency_us, b.latency_us / e.latency_us);
+        } else {
+          std::printf("%-8s %-16.2f\n", size_label(e.bytes).c_str(), e.latency_us);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace gdrshmem::bench

@@ -1,0 +1,98 @@
+// Interactive experiment driver: sweep any configuration from the command
+// line and optionally dump an operation trace as CSV.
+//
+//   latency_explorer [transport] [scope] [config] [op] [--trace]
+//     transport: enhanced | baseline | naive       (default enhanced)
+//     scope:     intra | inter                     (default inter)
+//     config:    hh | hd | dh | dd                 (default dd)
+//     op:        put | get                         (default put)
+//
+//   $ ./latency_explorer baseline inter dd put
+//   $ ./latency_explorer enhanced intra hd get --trace > trace.csv
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+
+#include "core/ctx.hpp"
+#include "core/report.hpp"
+#include "core/trace.hpp"
+#include "omb/omb.hpp"
+
+using namespace gdrshmem;
+
+int main(int argc, char** argv) {
+  omb::LatencyConfig cfg;
+  cfg.sizes = omb::small_message_sizes();
+  for (std::size_t s : omb::large_message_sizes()) cfg.sizes.push_back(s);
+  bool trace = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "enhanced") cfg.transport = core::TransportKind::kEnhancedGdr;
+    else if (a == "baseline") cfg.transport = core::TransportKind::kHostPipeline;
+    else if (a == "naive") cfg.transport = core::TransportKind::kNaive;
+    else if (a == "intra") cfg.intra_node = true;
+    else if (a == "inter") cfg.intra_node = false;
+    else if (a == "hh") { cfg.local = omb::Loc::kHost; cfg.remote = core::Domain::kHost; }
+    else if (a == "hd") { cfg.local = omb::Loc::kHost; cfg.remote = core::Domain::kGpu; }
+    else if (a == "dh") { cfg.local = omb::Loc::kDevice; cfg.remote = core::Domain::kHost; }
+    else if (a == "dd") { cfg.local = omb::Loc::kDevice; cfg.remote = core::Domain::kGpu; }
+    else if (a == "put") cfg.is_put = true;
+    else if (a == "get") cfg.is_put = false;
+    else if (a == "--trace") trace = true;
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [enhanced|baseline|naive] [intra|inter] "
+                   "[hh|hd|dh|dd] [put|get] [--trace]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::fprintf(stderr, "# %s, %s (%s)\n", config_label(cfg).c_str(),
+               core::to_string(cfg.transport), trace ? "tracing" : "timing");
+  try {
+    if (!trace) {
+      auto pts = omb::run_latency(cfg);
+      std::printf("%-10s %s\n", "bytes", "latency_us");
+      for (const auto& p : pts) std::printf("%-10zu %.3f\n", p.bytes, p.latency_us);
+      return 0;
+    }
+    // Trace mode: run one op per size with the tracer on, emit CSV.
+    core::RuntimeOptions opts;
+    opts.transport = cfg.transport;
+    opts.host_heap_bytes = opts.gpu_heap_bytes = 16u << 20;
+    hw::ClusterConfig cluster;
+    cluster.num_nodes = 2;
+    cluster.pes_per_node = 2;
+    core::Runtime rt(cluster, opts);
+    rt.tracer().enable();
+    const int target = cfg.intra_node ? 1 : 2;
+    rt.run([&](core::Ctx& ctx) {
+      auto* sym = static_cast<std::byte*>(ctx.shmalloc(8u << 20, cfg.remote));
+      std::vector<std::byte> host_local(8u << 20);
+      std::byte* local = host_local.data();
+      if (cfg.local == omb::Loc::kDevice) {
+        local = static_cast<std::byte*>(ctx.cuda_malloc(8u << 20));
+      }
+      ctx.barrier_all();
+      if (ctx.my_pe() == 0) {
+        for (std::size_t bytes : cfg.sizes) {
+          if (cfg.is_put) {
+            ctx.putmem(sym, local, bytes, target);
+            ctx.quiet();
+          } else {
+            ctx.getmem(local, sym, bytes, target);
+          }
+        }
+      }
+      ctx.barrier_all();
+    });
+    std::cout << rt.tracer().to_csv();
+    core::print_report(rt, std::cerr);
+  } catch (const core::UnsupportedError& e) {
+    std::fprintf(stderr, "unsupported configuration: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

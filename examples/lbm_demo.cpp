@@ -1,0 +1,59 @@
+// GPULBM demo: the paper's Section IV application — a multiphase lattice
+// Boltzmann evolution with three one-sided GPU halo exchanges per step.
+// Runs real lattice math on 8 simulated GPUs, checks mass conservation,
+// and compares the redesigned OpenSHMEM version against the MPI-style
+// blocking baseline (the comparison behind Fig 12).
+#include <cmath>
+#include <cstdio>
+
+#include "apps/lbm.hpp"
+
+using namespace gdrshmem;
+
+int main() {
+  hw::ClusterConfig cluster;
+  cluster.num_nodes = 4;
+  cluster.pes_per_node = 2;
+
+  apps::LbmConfig cfg;
+  cfg.x = 32;
+  cfg.y = 32;
+  cfg.z = 64;
+  cfg.iterations = 40;
+  cfg.functional = true;
+
+  std::printf("GPULBM %zux%zux%zu, %d evolution steps on %d GPUs "
+              "(Z-decomposition)\n",
+              cfg.x, cfg.y, cfg.z, cfg.iterations,
+              cluster.num_nodes * cluster.pes_per_node);
+  std::printf("per-step halo traffic per PE: %zu KB in 3 exchanges "
+              "(1+1+6 elements)\n\n",
+              2 * 8 * cfg.x * cfg.y * sizeof(float) / 1024);
+
+  struct Row {
+    const char* name;
+    core::TransportKind kind;
+    bool blocking;
+  };
+  for (Row row : {Row{"CUDA-aware MPI-style (host pipeline)",
+                      core::TransportKind::kHostPipeline, true},
+                  Row{"OpenSHMEM Enhanced-GDR (this paper)",
+                      core::TransportKind::kEnhancedGdr, false}}) {
+    core::RuntimeOptions opts;
+    opts.transport = row.kind;
+    opts.gpu_heap_bytes = 64u << 20;
+    apps::LbmConfig c = cfg;
+    c.blocking_exchange = row.blocking;
+    auto res = run_lbm(cluster, opts, c);
+    double phase_drift = std::abs(res.phase_mass_final - res.phase_mass_initial);
+    double fluid_drift =
+        std::abs(res.fluid_mass_final - res.fluid_mass_initial) /
+        res.fluid_mass_initial;
+    std::printf("%-38s evolution %8.2f ms\n", row.name, res.evolution_ms);
+    std::printf("%-38s phase mass %0.4f -> %0.4f (drift %.2e)\n", "",
+                res.phase_mass_initial, res.phase_mass_final, phase_drift);
+    std::printf("%-38s fluid mass conserved to %.2e relative\n\n", "",
+                fluid_drift);
+  }
+  return 0;
+}

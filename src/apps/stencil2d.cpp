@@ -1,0 +1,197 @@
+#include "apps/stencil2d.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "core/ctx.hpp"
+
+namespace gdrshmem::apps {
+
+using core::Ctx;
+using core::Domain;
+
+namespace {
+
+/// Deterministic initial condition by global coordinates.
+double initial_value(std::size_t gi, std::size_t gj) {
+  return static_cast<double>((gi * 31 + gj * 17) % 101) * 0.01;
+}
+
+struct Tile {
+  std::size_t lnx, lny;  // interior rows/cols
+  std::size_t pitch;     // lny + 2
+  std::size_t idx(std::size_t i, std::size_t j) const { return i * pitch + j; }
+};
+
+}  // namespace
+
+Stencil2DResult run_stencil2d(const hw::ClusterConfig& cluster,
+                              const core::RuntimeOptions& opts,
+                              const Stencil2DConfig& cfg) {
+  core::Runtime rt(cluster, opts);
+  const int np = rt.num_pes();
+  if (cfg.px * cfg.py != np) {
+    throw core::ShmemError("stencil2d: px*py must equal the PE count");
+  }
+  if (cfg.nx % static_cast<std::size_t>(cfg.px) != 0 ||
+      cfg.ny % static_cast<std::size_t>(cfg.py) != 0) {
+    throw core::ShmemError("stencil2d: grid must divide evenly");
+  }
+
+  Stencil2DResult result;
+  rt.run([&](Ctx& ctx) {
+    const int me = ctx.my_pe();
+    const int rx = me / cfg.py;  // my row in the process grid
+    const int ry = me % cfg.py;
+    Tile t;
+    t.lnx = cfg.nx / static_cast<std::size_t>(cfg.px);
+    t.lny = cfg.ny / static_cast<std::size_t>(cfg.py);
+    t.pitch = t.lny + 2;
+    const std::size_t tile_doubles = (t.lnx + 2) * t.pitch;
+
+    auto* cur = static_cast<double*>(
+        ctx.shmalloc(tile_doubles * sizeof(double), Domain::kGpu));
+    auto* next = static_cast<double*>(
+        ctx.shmalloc(tile_doubles * sizeof(double), Domain::kGpu));
+    // Symmetric column-halo landing zones: [0] = from west, [1] = from east.
+    auto* colhalo = static_cast<double*>(
+        ctx.shmalloc(2 * t.lnx * sizeof(double), Domain::kGpu));
+    // Local (non-symmetric) device pack buffers.
+    auto* pack = static_cast<double*>(ctx.cuda_malloc(2 * t.lnx * sizeof(double)));
+
+    const int north = rx > 0 ? me - cfg.py : -1;
+    const int south = rx < cfg.px - 1 ? me + cfg.py : -1;
+    const int west = ry > 0 ? me - 1 : -1;
+    const int east = ry < cfg.py - 1 ? me + 1 : -1;
+
+    // Initialize: interior by global coordinate, halo/boundary zero.
+    for (std::size_t i = 0; i < t.lnx + 2; ++i) {
+      for (std::size_t j = 0; j < t.pitch; ++j) {
+        cur[t.idx(i, j)] = 0.0;
+        next[t.idx(i, j)] = 0.0;
+      }
+    }
+    if (cfg.functional) {
+      for (std::size_t i = 1; i <= t.lnx; ++i) {
+        for (std::size_t j = 1; j <= t.lny; ++j) {
+          std::size_t gi = static_cast<std::size_t>(rx) * t.lnx + i - 1;
+          std::size_t gj = static_cast<std::size_t>(ry) * t.lny + j - 1;
+          cur[t.idx(i, j)] = initial_value(gi, gj);
+        }
+      }
+    }
+    ctx.barrier_all();
+
+    sim::Time t0 = ctx.now();
+    for (int iter = 0; iter < cfg.iterations; ++iter) {
+      // (1) pack boundary columns.
+      ctx.launch_kernel(2 * t.lnx, cfg.per_cell_ns, [&] {
+        if (cfg.functional) {
+          for (std::size_t i = 0; i < t.lnx; ++i) {
+            pack[i] = cur[t.idx(i + 1, 1)];           // west column
+            pack[t.lnx + i] = cur[t.idx(i + 1, t.lny)];  // east column
+          }
+        }
+      });
+      // (2) exchange columns: my west column becomes the west neighbor's
+      // "from east" halo and vice versa.
+      if (west >= 0) {
+        ctx.putmem_nbi(colhalo + t.lnx, pack, t.lnx * sizeof(double), west);
+      }
+      if (east >= 0) {
+        ctx.putmem_nbi(colhalo, pack + t.lnx, t.lnx * sizeof(double), east);
+      }
+      ctx.quiet();
+      ctx.barrier_all();
+      // (3) unpack column halos.
+      ctx.launch_kernel(2 * t.lnx, cfg.per_cell_ns, [&] {
+        if (cfg.functional) {
+          for (std::size_t i = 0; i < t.lnx; ++i) {
+            if (west >= 0) cur[t.idx(i + 1, 0)] = colhalo[i];
+            if (east >= 0) cur[t.idx(i + 1, t.lny + 1)] = colhalo[t.lnx + i];
+          }
+        }
+      });
+      // (4) exchange full-width rows (carrying the diagonal corners).
+      if (north >= 0) {
+        ctx.putmem_nbi(cur + t.idx(t.lnx + 1, 0), cur + t.idx(1, 0),
+                       t.pitch * sizeof(double), north);
+      }
+      if (south >= 0) {
+        ctx.putmem_nbi(cur + t.idx(0, 0), cur + t.idx(t.lnx, 0),
+                       t.pitch * sizeof(double), south);
+      }
+      ctx.quiet();
+      ctx.barrier_all();
+      // (5) 9-point update.
+      ctx.launch_kernel(t.lnx * t.lny, cfg.per_cell_ns, [&] {
+        if (!cfg.functional) return;
+        for (std::size_t i = 1; i <= t.lnx; ++i) {
+          for (std::size_t j = 1; j <= t.lny; ++j) {
+            double c = cur[t.idx(i, j)];
+            double edges = cur[t.idx(i - 1, j)] + cur[t.idx(i + 1, j)] +
+                           cur[t.idx(i, j - 1)] + cur[t.idx(i, j + 1)];
+            double diag = cur[t.idx(i - 1, j - 1)] + cur[t.idx(i - 1, j + 1)] +
+                          cur[t.idx(i + 1, j - 1)] + cur[t.idx(i + 1, j + 1)];
+            next[t.idx(i, j)] = cfg.wc * c + cfg.we * edges + cfg.wd * diag;
+          }
+        }
+      });
+      std::swap(cur, next);  // lockstep on every PE: stays symmetric
+    }
+    ctx.barrier_all();
+    double elapsed_ms = (ctx.now() - t0).to_ms();
+
+    // Global checksum of the interior.
+    auto* partial = static_cast<double*>(ctx.shmalloc(sizeof(double)));
+    auto* total = static_cast<double*>(ctx.shmalloc(sizeof(double)));
+    *partial = 0;
+    if (cfg.functional) {
+      for (std::size_t i = 1; i <= t.lnx; ++i) {
+        for (std::size_t j = 1; j <= t.lny; ++j) *partial += cur[t.idx(i, j)];
+      }
+    }
+    ctx.sum_to_all(total, partial, 1);
+    if (me == 0) {
+      result.exec_time_ms = elapsed_ms;
+      result.checksum = *total;
+      result.cells_updated = static_cast<std::uint64_t>(t.lnx) * t.lny *
+                             static_cast<std::uint64_t>(np) *
+                             static_cast<std::uint64_t>(cfg.iterations);
+    }
+    ctx.barrier_all();
+  });
+  return result;
+}
+
+double stencil2d_reference_checksum(const Stencil2DConfig& cfg) {
+  const std::size_t pitch = cfg.ny + 2;
+  std::vector<double> cur((cfg.nx + 2) * pitch, 0.0);
+  std::vector<double> next((cfg.nx + 2) * pitch, 0.0);
+  auto idx = [pitch](std::size_t i, std::size_t j) { return i * pitch + j; };
+  for (std::size_t i = 1; i <= cfg.nx; ++i) {
+    for (std::size_t j = 1; j <= cfg.ny; ++j) {
+      cur[idx(i, j)] = initial_value(i - 1, j - 1);
+    }
+  }
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    for (std::size_t i = 1; i <= cfg.nx; ++i) {
+      for (std::size_t j = 1; j <= cfg.ny; ++j) {
+        double c = cur[idx(i, j)];
+        double edges = cur[idx(i - 1, j)] + cur[idx(i + 1, j)] +
+                       cur[idx(i, j - 1)] + cur[idx(i, j + 1)];
+        double diag = cur[idx(i - 1, j - 1)] + cur[idx(i - 1, j + 1)] +
+                      cur[idx(i + 1, j - 1)] + cur[idx(i + 1, j + 1)];
+        next[idx(i, j)] = cfg.wc * c + cfg.we * edges + cfg.wd * diag;
+      }
+    }
+    std::swap(cur, next);
+  }
+  double sum = 0;
+  for (std::size_t i = 1; i <= cfg.nx; ++i) {
+    for (std::size_t j = 1; j <= cfg.ny; ++j) sum += cur[idx(i, j)];
+  }
+  return sum;
+}
+
+}  // namespace gdrshmem::apps

@@ -1,0 +1,408 @@
+#include "core/ctx.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gdrshmem::core {
+
+using sim::Duration;
+
+// ---------------------------------------------------------------------------
+// Runtime-internal synchronization region: the first symmetric allocation of
+// every host heap, used by barrier / broadcast / reduce / collect.
+
+struct Ctx::SyncRegion {
+  static constexpr int kRounds = 32;  // supports up to 2^32 PEs
+  static constexpr std::size_t kScratchBytes = 256 * 1024;
+
+  std::uint64_t barrier_flags[kRounds];
+  std::uint64_t bcast_flag;
+  std::uint64_t pad_;  // keep the tail 16-byte aligned
+
+  std::uint64_t* coll_flags() { return reinterpret_cast<std::uint64_t*>(this + 1); }
+  std::byte* scratch(int np) {
+    return reinterpret_cast<std::byte*>(coll_flags() + np);
+  }
+  static std::size_t bytes(int np) {
+    return sizeof(SyncRegion) + sizeof(std::uint64_t) * static_cast<std::size_t>(np) +
+           kScratchBytes;
+  }
+};
+
+Ctx::SyncRegion& Ctx::sync_region(int pe) {
+  return *reinterpret_cast<SyncRegion*>(rt_->heap(pe, Domain::kHost).base());
+}
+
+// ---------------------------------------------------------------------------
+// Construction
+
+Ctx::Ctx(Runtime& rt, int pe)
+    : rt_(&rt),
+      pe_(pe),
+      stream_(rt.cluster().placement(pe).node, rt.cluster().placement(pe).gpu) {
+  // Reserve the sync region — identical first allocation on every PE.
+  rt_->heap(pe_, Domain::kHost).allocate(SyncRegion::bytes(rt.num_pes()));
+
+  const Tuning& t = rt.tuning();
+  bounce_.resize(2 * t.pipeline_chunk);
+  rt.verbs().reg_cache().register_at_init(pe_, bounce_.data(), bounce_.size());
+  inline_ring_.resize(kInlineSlots * std::max<std::size_t>(t.inline_put_limit, 8));
+  inline_comps_.resize(kInlineSlots);
+  rt.verbs().reg_cache().register_at_init(pe_, inline_ring_.data(),
+                                          inline_ring_.size());
+}
+
+Ctx::~Ctx() = default;
+
+sim::Process& Ctx::proc() {
+  if (proc_ == nullptr) {
+    throw ShmemError("OpenSHMEM calls are only valid inside Runtime::run");
+  }
+  return *proc_;
+}
+
+sim::Time Ctx::now() { return rt_->engine().now(); }
+
+// ---------------------------------------------------------------------------
+// Symmetric memory
+
+void* Ctx::shmalloc(std::size_t bytes, Domain domain) {
+  rt_->check_symmetric_alloc(alloc_seq_++, bytes, domain);
+  void* p = rt_->heap(pe_, domain).allocate(bytes);
+  barrier_all();  // shmalloc is collective
+  return p;
+}
+
+void Ctx::shfree(void* p) {
+  barrier_all();  // nobody may still be targeting the block
+  // Freeing from whichever heap owns the pointer.
+  for (Domain d : {Domain::kHost, Domain::kGpu}) {
+    if (rt_->heap(pe_, d).contains(p)) {
+      rt_->heap(pe_, d).deallocate(p);
+      return;
+    }
+  }
+  throw ShmemError("shfree of a non-symmetric pointer");
+}
+
+void* Ctx::shmem_ptr(const void* sym, int pe) {
+  Domain dom;
+  void* remote = rt_->translate(sym, pe_, pe, 1, &dom);
+  if (dom == Domain::kHost && rt_->cluster().same_node(pe_, pe)) return remote;
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// RMA entry points
+
+RmaOp Ctx::make_op(void* remote_sym, void* local, std::size_t n, int pe,
+                   bool blocking) {
+  if (pe < 0 || pe >= n_pes()) throw ShmemError("target PE out of range");
+  RmaOp op;
+  op.target_pe = pe;
+  Domain dom;
+  op.remote = rt_->translate(remote_sym, pe_, pe, n, &dom);
+  op.remote_domain = dom;
+  op.local = local;
+  op.local_is_device =
+      rt_->cuda().attributes(local).space == cudart::MemSpace::kDevice;
+  op.bytes = n;
+  op.same_node = rt_->cluster().same_node(pe_, pe);
+  op.blocking = blocking;
+  return op;
+}
+
+void Ctx::putmem(void* dst_sym, const void* src, std::size_t n, int pe) {
+  if (n == 0) return;
+  rt_->stats().puts++;
+  sim::Time t0 = now();
+  proc().delay(Duration::us(rt_->cluster().params().shmem_sw_overhead_us));
+  RmaOp op = make_op(dst_sym, const_cast<void*>(src), n, pe, /*blocking=*/true);
+  rt_->transport().put(*this, op);
+  if (rt_->tracer().enabled()) {
+    rt_->tracer().record(TraceEvent{pe_, pe, TraceEvent::Kind::kPut,
+                                    last_protocol_, n, t0, now()});
+  }
+}
+
+void Ctx::putmem_nbi(void* dst_sym, const void* src, std::size_t n, int pe) {
+  if (n == 0) return;
+  rt_->stats().puts++;
+  proc().delay(Duration::us(rt_->cluster().params().shmem_sw_overhead_us));
+  RmaOp op = make_op(dst_sym, const_cast<void*>(src), n, pe, /*blocking=*/false);
+  rt_->transport().put(*this, op);
+}
+
+void Ctx::getmem(void* dst, const void* src_sym, std::size_t n, int pe) {
+  if (n == 0) return;
+  rt_->stats().gets++;
+  sim::Time t0 = now();
+  proc().delay(Duration::us(rt_->cluster().params().shmem_sw_overhead_us));
+  RmaOp op = make_op(const_cast<void*>(src_sym), dst, n, pe, /*blocking=*/true);
+  rt_->transport().get(*this, op);
+  if (rt_->tracer().enabled()) {
+    rt_->tracer().record(TraceEvent{pe_, pe, TraceEvent::Kind::kGet,
+                                    last_protocol_, n, t0, now()});
+  }
+}
+
+void Ctx::getmem_nbi(void* dst, const void* src_sym, std::size_t n, int pe) {
+  if (n == 0) return;
+  rt_->stats().gets++;
+  proc().delay(Duration::us(rt_->cluster().params().shmem_sw_overhead_us));
+  RmaOp op = make_op(const_cast<void*>(src_sym), dst, n, pe, /*blocking=*/false);
+  rt_->transport().get(*this, op);
+}
+
+void Ctx::put_sync(void* dst_sym, const void* src, std::size_t n, int pe) {
+  putmem(dst_sym, src, n, pe);
+  quiet();
+}
+
+void Ctx::quiet() {
+  wait_for([&] {
+    std::erase_if(pending_, [](const sim::CompletionPtr& c) { return c->done(); });
+    return pending_.empty();
+  });
+  snapshots_.clear();
+}
+
+void Ctx::progress() {
+  while (auto m = rx_.try_receive()) {
+    proc().delay(Duration::us(rt_->cluster().params().progress_wakeup_us));
+    rt_->transport().handle_ctrl(*this, *m, proc());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Staging helpers
+
+std::byte* Ctx::bounce(std::size_t min_bytes) {
+  if (bounce_.size() < min_bytes) {
+    bounce_.assign(min_bytes, std::byte{0});
+    rt_->verbs().reg_cache().get_or_register(proc(), pe_, bounce_.data(),
+                                             bounce_.size());
+  }
+  return bounce_.data();
+}
+
+std::pair<std::byte*, sim::CompletionPtr*> Ctx::inline_slot() {
+  sim::CompletionPtr& comp = inline_comps_[inline_next_];
+  if (comp && !comp->done()) comp->wait(proc());
+  comp = nullptr;
+  std::size_t slot = inline_ring_.size() / kInlineSlots;
+  std::byte* p = inline_ring_.data() + inline_next_ * slot;
+  inline_next_ = (inline_next_ + 1) % kInlineSlots;
+  return {p, &comp};
+}
+
+std::byte* Ctx::eager_src_slot(int peer) {
+  auto [it, inserted] = eager_src_slots_.try_emplace(peer);
+  if (inserted) {
+    it->second.resize(rt_->eager_slot_bytes());
+    rt_->verbs().reg_cache().register_at_init(pe_, it->second.data(),
+                                              it->second.size());
+  }
+  return it->second.data();
+}
+
+std::byte* Ctx::rendezvous_staging(std::size_t bytes) {
+  return rendezvous_staging(bytes, proc());
+}
+
+std::byte* Ctx::rendezvous_staging(std::size_t bytes, sim::Process& worker) {
+  if (rendezvous_staging_.size() < bytes) {
+    rendezvous_staging_.assign(bytes, std::byte{0});
+    rt_->verbs().reg_cache().get_or_register(worker, pe_,
+                                             rendezvous_staging_.data(),
+                                             rendezvous_staging_.size());
+  }
+  return rendezvous_staging_.data();
+}
+
+// ---------------------------------------------------------------------------
+// CUDA-side helpers
+
+void* Ctx::cuda_malloc(std::size_t bytes) {
+  hw::PePlacement pl = rt_->cluster().placement(pe_);
+  return rt_->cuda().malloc_device(pl.node, pl.gpu, bytes);
+}
+
+void Ctx::cuda_memcpy(void* dst, const void* src, std::size_t n) {
+  rt_->cuda().memcpy_sync(proc(), dst, src, n);
+}
+
+void Ctx::launch_kernel(std::size_t cells, double per_cell_ns,
+                        const std::function<void()>& body) {
+  rt_->cuda().launch_kernel_sync(proc(), cells, per_cell_ns, body);
+}
+
+void Ctx::compute(sim::Duration d) {
+  // The service-thread design steals CPU resources from the application
+  // (Section III-C: "threads will consume half of the CPU resources").
+  if (rt_->options().service_thread) {
+    d = d * (1.0 + rt_->options().service_thread_compute_penalty);
+  }
+  proc().delay(d);
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+
+void Ctx::barrier_all() {
+  quiet();
+  rt_->stats().barriers++;
+  ++barrier_gen_;
+  const int np = n_pes();
+  SyncRegion& mine = sync_region(pe_);
+  for (int r = 0; (1 << r) < np; ++r) {
+    int peer = (pe_ + (1 << r)) % np;
+    std::uint64_t gen = barrier_gen_;
+    putmem(&mine.barrier_flags[r], &gen, sizeof(gen), peer);
+    wait_until<std::uint64_t>(&mine.barrier_flags[r], Cmp::kGe, gen);
+  }
+}
+
+void Ctx::broadcastmem(void* dst_sym, const void* src_sym, std::size_t n,
+                       int root) {
+  const int np = n_pes();
+  if (np == 1) return;
+  ++bcast_gen_;
+  SyncRegion& mine = sync_region(pe_);
+  int vrank = (pe_ - root + np) % np;
+  int mask = 1;
+  while (mask < np) {
+    if (vrank & mask) {
+      wait_until<std::uint64_t>(&mine.bcast_flag, Cmp::kGe, bcast_gen_);
+      break;
+    }
+    mask <<= 1;
+  }
+  const void* data = (pe_ == root) ? src_sym : dst_sym;
+  mask >>= 1;
+  while (mask > 0) {
+    int peer_v = vrank + mask;
+    if (peer_v < np) {
+      int peer = (peer_v + root) % np;
+      // Data strictly before the flag (they may ride different paths).
+      put_sync(dst_sym, data, n, peer);
+      putmem(&mine.bcast_flag, &bcast_gen_, sizeof(bcast_gen_), peer);
+    }
+    mask >>= 1;
+  }
+  // Broadcast must be synchronizing: bcast_flag has a *different writer*
+  // per generation (the binomial parent depends on the root), so without a
+  // barrier a later generation's flag from a fast PE could overtake this
+  // generation's data and release a waiter early.
+  barrier_all();
+}
+
+void Ctx::fcollectmem(void* dst_sym, const void* src_sym, std::size_t nbytes) {
+  const int np = n_pes();
+  ++coll_gen_;
+  SyncRegion& mine = sync_region(pe_);
+  auto* dst_bytes = static_cast<std::byte*>(dst_sym);
+  // Own block (local copy, charged as a real copy).
+  cuda_memcpy(dst_bytes + static_cast<std::size_t>(pe_) * nbytes, src_sym, nbytes);
+  for (int i = 1; i < np; ++i) {
+    int peer = (pe_ + i) % np;
+    putmem(dst_bytes + static_cast<std::size_t>(pe_) * nbytes, src_sym, nbytes, peer);
+  }
+  quiet();  // all data acked before any flag is raised
+  for (int i = 1; i < np; ++i) {
+    int peer = (pe_ + i) % np;
+    putmem(&mine.coll_flags()[pe_], &coll_gen_, sizeof(coll_gen_), peer);
+  }
+  for (int i = 0; i < np; ++i) {
+    if (i == pe_) continue;
+    wait_until<std::uint64_t>(&mine.coll_flags()[i], Cmp::kGe, coll_gen_);
+  }
+}
+
+void Ctx::alltoallmem(void* dst_sym, const void* src_sym, std::size_t nbytes) {
+  const int np = n_pes();
+  ++coll_gen_;
+  SyncRegion& mine = sync_region(pe_);
+  auto* dst_bytes = static_cast<std::byte*>(dst_sym);
+  auto* src_bytes = static_cast<const std::byte*>(src_sym);
+  // Own block.
+  cuda_memcpy(dst_bytes + static_cast<std::size_t>(pe_) * nbytes,
+              src_bytes + static_cast<std::size_t>(pe_) * nbytes, nbytes);
+  for (int i = 1; i < np; ++i) {
+    int peer = (pe_ + i) % np;
+    // Block `peer` of my src -> block `me` of peer's dst.
+    putmem(dst_bytes + static_cast<std::size_t>(pe_) * nbytes,
+           src_bytes + static_cast<std::size_t>(peer) * nbytes, nbytes, peer);
+  }
+  quiet();
+  for (int i = 1; i < np; ++i) {
+    int peer = (pe_ + i) % np;
+    putmem(&mine.coll_flags()[pe_], &coll_gen_, sizeof(coll_gen_), peer);
+  }
+  for (int i = 0; i < np; ++i) {
+    if (i == pe_) continue;
+    wait_until<std::uint64_t>(&mine.coll_flags()[i], Cmp::kGe, coll_gen_);
+  }
+}
+
+void Ctx::reduce_impl(void* dst, const void* src, std::size_t nelems, ReduceOp op,
+                      ScalarType t) {
+  const int np = n_pes();
+  std::size_t elsize = (t == ScalarType::kF64 || t == ScalarType::kI64) ? 8 : 4;
+  std::size_t nbytes = nelems * elsize;
+  if (nbytes * static_cast<std::size_t>(np) > SyncRegion::kScratchBytes) {
+    throw ShmemError("reduction exceeds the internal scratch region");
+  }
+  ++coll_gen_;
+  SyncRegion& mine = sync_region(pe_);
+
+  if (pe_ != 0) {
+    put_sync(mine.scratch(np) + static_cast<std::size_t>(pe_) * nbytes, src, nbytes, 0);
+    putmem(&mine.coll_flags()[pe_], &coll_gen_, sizeof(coll_gen_), 0);
+  } else {
+    std::memmove(dst, src, nbytes);  // own contribution (dst may alias src)
+    for (int i = 1; i < np; ++i) {
+      wait_until<std::uint64_t>(&mine.coll_flags()[i], Cmp::kGe, coll_gen_);
+    }
+    // Combine in PE order for determinism.
+    auto reduce_one = [op](auto* acc, auto v) {
+      switch (op) {
+        case ReduceOp::kSum: *acc += v; break;
+        case ReduceOp::kMin: *acc = v < *acc ? v : *acc; break;
+        case ReduceOp::kMax: *acc = v > *acc ? v : *acc; break;
+      }
+    };
+    auto apply = [&](const std::byte* block) {
+      auto* d = static_cast<std::byte*>(dst);
+      for (std::size_t e = 0; e < nelems; ++e) {
+        switch (t) {
+          case ScalarType::kF32:
+            reduce_one(reinterpret_cast<float*>(d) + e,
+                       reinterpret_cast<const float*>(block)[e]);
+            break;
+          case ScalarType::kF64:
+            reduce_one(reinterpret_cast<double*>(d) + e,
+                       reinterpret_cast<const double*>(block)[e]);
+            break;
+          case ScalarType::kI32:
+            reduce_one(reinterpret_cast<std::int32_t*>(d) + e,
+                       reinterpret_cast<const std::int32_t*>(block)[e]);
+            break;
+          case ScalarType::kI64:
+            reduce_one(reinterpret_cast<std::int64_t*>(d) + e,
+                       reinterpret_cast<const std::int64_t*>(block)[e]);
+            break;
+        }
+      }
+    };
+    for (int i = 1; i < np; ++i) {
+      apply(mine.scratch(np) + static_cast<std::size_t>(i) * nbytes);
+    }
+    // Charge the combine like a kernel-free CPU pass.
+    proc().delay(Duration::ns(static_cast<std::int64_t>(
+        static_cast<double>(nbytes) * (np - 1) * 0.25)));
+  }
+  broadcastmem(dst, dst, nbytes, 0);
+}
+
+}  // namespace gdrshmem::core

@@ -1,0 +1,337 @@
+// Per-PE OpenSHMEM context: the public API a processing element programs
+// against. Mirrors the OpenSHMEM 1.x surface the paper exercises —
+// symmetric allocation with the GPU-domain extension, one-sided put/get
+// (blocking and non-blocking-implicit), fence/quiet, point-to-point
+// synchronization, atomics (IB hardware 64-bit, masked <64-bit), and the
+// collectives the applications need — plus the CUDA helpers a GPU
+// application uses next to OpenSHMEM.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/ctrl.hpp"
+#include "core/runtime.hpp"
+#include "core/transport.hpp"
+#include "sim/future.hpp"
+#include "sim/mailbox.hpp"
+
+namespace gdrshmem::core {
+
+/// Comparison operators for wait_until (SHMEM_CMP_*).
+enum class Cmp { kEq, kNe, kGt, kGe, kLt, kLe };
+
+class Ctx {
+ public:
+  Ctx(Runtime& rt, int pe);
+  ~Ctx();
+  Ctx(const Ctx&) = delete;
+  Ctx& operator=(const Ctx&) = delete;
+
+  // ---- identity -----------------------------------------------------------
+  int my_pe() const { return pe_; }
+  int n_pes() const { return rt_->num_pes(); }
+  Runtime& runtime() { return *rt_; }
+  sim::Process& proc();
+
+  // ---- symmetric memory (III-A) -------------------------------------------
+  /// shmalloc with the paper's Domain extension. Collective: every PE must
+  /// make the same call sequence; includes an implicit barrier.
+  void* shmalloc(std::size_t bytes, Domain domain = Domain::kHost);
+  void shfree(void* p);
+  /// Pointer to `pe`'s copy of a host-domain symmetric object, valid when
+  /// `pe` is on the same node (classic shmem_ptr); nullptr otherwise.
+  void* shmem_ptr(const void* sym, int pe);
+
+  // ---- RMA ------------------------------------------------------------------
+  /// Blocking put: returns when the source buffer is reusable. Remote
+  /// completion is guaranteed only after quiet()/barrier_all().
+  void putmem(void* dst_sym, const void* src, std::size_t n, int pe);
+  /// Blocking get: returns with the data in `dst`.
+  void getmem(void* dst, const void* src_sym, std::size_t n, int pe);
+  /// Non-blocking-implicit variants: complete at quiet().
+  void putmem_nbi(void* dst_sym, const void* src, std::size_t n, int pe);
+  void getmem_nbi(void* dst, const void* src_sym, std::size_t n, int pe);
+
+  template <typename T>
+  void put(T* dst_sym, const T* src, std::size_t nelems, int pe) {
+    putmem(dst_sym, src, nelems * sizeof(T), pe);
+  }
+  template <typename T>
+  void get(T* dst, const T* src_sym, std::size_t nelems, int pe) {
+    getmem(dst, src_sym, nelems * sizeof(T), pe);
+  }
+  template <typename T>
+  void put_nbi(T* dst_sym, const T* src, std::size_t nelems, int pe) {
+    putmem_nbi(dst_sym, src, nelems * sizeof(T), pe);
+  }
+  template <typename T>
+  void get_nbi(T* dst, const T* src_sym, std::size_t nelems, int pe) {
+    getmem_nbi(dst, src_sym, nelems * sizeof(T), pe);
+  }
+  /// Single-element transfer (shmem_p / shmem_g).
+  template <typename T>
+  void p(T* dst_sym, T value, int pe) {
+    putmem(dst_sym, &value, sizeof(T), pe);
+  }
+  template <typename T>
+  T g(const T* src_sym, int pe) {
+    T v{};
+    getmem(&v, src_sym, sizeof(T), pe);
+    return v;
+  }
+
+  /// Strided put (shmem_iput): element i of `src` at stride `src_stride`
+  /// lands at element i * dst_stride of the symmetric destination. Elements
+  /// travel as individual transfers, as the OpenSHMEM spec implies.
+  template <typename T>
+  void iput(T* dst_sym, const T* src, std::ptrdiff_t dst_stride,
+            std::ptrdiff_t src_stride, std::size_t nelems, int pe) {
+    for (std::size_t i = 0; i < nelems; ++i) {
+      putmem_nbi(dst_sym + static_cast<std::ptrdiff_t>(i) * dst_stride,
+                 src + static_cast<std::ptrdiff_t>(i) * src_stride, sizeof(T), pe);
+    }
+  }
+  /// Strided get (shmem_iget); returns with the data in place.
+  template <typename T>
+  void iget(T* dst, const T* src_sym, std::ptrdiff_t dst_stride,
+            std::ptrdiff_t src_stride, std::size_t nelems, int pe) {
+    for (std::size_t i = 0; i < nelems; ++i) {
+      getmem_nbi(dst + static_cast<std::ptrdiff_t>(i) * dst_stride,
+                 src_sym + static_cast<std::ptrdiff_t>(i) * src_stride, sizeof(T),
+                 pe);
+    }
+    quiet();
+  }
+
+  /// Put-with-signal (OpenSHMEM 1.5 shmem_put_signal): deliver the payload,
+  /// then set the 64-bit signal word at the target — the signal never
+  /// overtakes the data, on any protocol path.
+  void put_signal(void* dst_sym, const void* src, std::size_t n,
+                  std::uint64_t* sig_sym, std::uint64_t signal, int pe) {
+    put_sync(dst_sym, src, n, pe);
+    putmem(sig_sym, &signal, sizeof(signal), pe);
+  }
+  /// Companion wait (shmem_signal_wait_until).
+  void signal_wait_until(const std::uint64_t* sig_sym, Cmp op, std::uint64_t v) {
+    wait_until(sig_sym, op, v);
+  }
+
+  /// Non-blocking probe: one progress pass, then evaluate the comparison.
+  template <typename T>
+  bool test(const T* sym_addr, Cmp op, T value) {
+    progress();
+    T cur;
+    std::memcpy(&cur, sym_addr, sizeof(T));
+    switch (op) {
+      case Cmp::kEq: return cur == value;
+      case Cmp::kNe: return cur != value;
+      case Cmp::kGt: return cur > value;
+      case Cmp::kGe: return cur >= value;
+      case Cmp::kLt: return cur < value;
+      case Cmp::kLe: return cur <= value;
+    }
+    return false;
+  }
+
+  /// Internal strict put: like putmem but always waits for the remote ACK,
+  /// so a subsequent op on *any* path is ordered after it. The collectives
+  /// use it to sequence data before flags.
+  void put_sync(void* dst_sym, const void* src, std::size_t n, int pe);
+
+  // ---- ordering ---------------------------------------------------------------
+  /// Wait for remote completion of all pending ops issued by this PE.
+  void quiet();
+  /// Ordering fence; implemented as quiet (a legal strengthening).
+  void fence() { quiet(); }
+
+  // ---- point-to-point synchronization ------------------------------------------
+  template <typename T>
+  void wait_until(const T* sym_addr, Cmp op, T value) {
+    wait_for([&] {
+      T cur;
+      std::memcpy(&cur, sym_addr, sizeof(T));  // re-read delivered memory
+      switch (op) {
+        case Cmp::kEq: return cur == value;
+        case Cmp::kNe: return cur != value;
+        case Cmp::kGt: return cur > value;
+        case Cmp::kGe: return cur >= value;
+        case Cmp::kLt: return cur < value;
+        case Cmp::kLe: return cur <= value;
+      }
+      return false;
+    });
+  }
+
+  // ---- atomics (III-D) -----------------------------------------------------------
+  /// 64-bit ops map 1:1 onto IB hardware atomics (works on host and GPU
+  /// symmetric memory via GDR).
+  std::int64_t atomic_fetch_add(std::int64_t* sym, std::int64_t value, int pe);
+  void atomic_add(std::int64_t* sym, std::int64_t value, int pe);
+  std::int64_t atomic_fetch_inc(std::int64_t* sym, int pe) {
+    return atomic_fetch_add(sym, 1, pe);
+  }
+  void atomic_inc(std::int64_t* sym, int pe) { atomic_add(sym, 1, pe); }
+  std::int64_t atomic_compare_swap(std::int64_t* sym, std::int64_t cond,
+                                   std::int64_t value, int pe);
+  std::int64_t atomic_swap(std::int64_t* sym, std::int64_t value, int pe);
+  std::int64_t atomic_fetch(const std::int64_t* sym, int pe);
+  /// 32-bit ops use the paper's mask technique on the containing 64-bit
+  /// word (retry loop around hardware compare-and-swap).
+  std::int32_t atomic_fetch_add32(std::int32_t* sym, std::int32_t value, int pe);
+  std::int32_t atomic_compare_swap32(std::int32_t* sym, std::int32_t cond,
+                                     std::int32_t value, int pe);
+
+  // ---- collectives ------------------------------------------------------------------
+  void barrier_all();
+  /// Broadcast `n` bytes from root's `src_sym` into everyone else's
+  /// `dst_sym` (root's dst untouched, per OpenSHMEM).
+  void broadcastmem(void* dst_sym, const void* src_sym, std::size_t n, int root);
+  /// Allreduce on symmetric buffers (dst may alias src).
+  template <typename T>
+  void sum_to_all(T* dst_sym, const T* src_sym, std::size_t nreduce) {
+    reduce_impl(dst_sym, src_sym, nreduce, ReduceOp::kSum, type_tag<T>());
+  }
+  template <typename T>
+  void min_to_all(T* dst_sym, const T* src_sym, std::size_t nreduce) {
+    reduce_impl(dst_sym, src_sym, nreduce, ReduceOp::kMin, type_tag<T>());
+  }
+  template <typename T>
+  void max_to_all(T* dst_sym, const T* src_sym, std::size_t nreduce) {
+    reduce_impl(dst_sym, src_sym, nreduce, ReduceOp::kMax, type_tag<T>());
+  }
+  /// Concatenate every PE's `nbytes` block into each PE's dst (fcollect).
+  void fcollectmem(void* dst_sym, const void* src_sym, std::size_t nbytes);
+
+  // ---- locks (shmem_set_lock family, on IB hardware atomics) --------------
+  /// Acquire a global lock (the lock word lives on PE 0's heap copy).
+  void set_lock(std::int64_t* lock_sym);
+  /// Release; throws if this PE does not hold it.
+  void clear_lock(std::int64_t* lock_sym);
+  /// Try-acquire; true on success.
+  bool test_lock(std::int64_t* lock_sym);
+
+  /// Barrier over an arbitrary team of PEs, using a user-provided symmetric
+  /// 2-word psync array (counter + release generation). One barrier in
+  /// flight per psync, as the OpenSHMEM pSync rules require.
+  void team_barrier(const std::vector<int>& pes, std::int64_t* psync);
+  /// All-to-all personalized exchange: block j of my src lands at block
+  /// my_pe of PE j's dst (both symmetric, np * nbytes long).
+  void alltoallmem(void* dst_sym, const void* src_sym, std::size_t nbytes);
+
+  // ---- CUDA-side helpers ------------------------------------------------------------
+  /// cudaMalloc on this PE's GPU (non-symmetric local device memory).
+  void* cuda_malloc(std::size_t bytes);
+  void cuda_free(void* p) { rt_->cuda().free_device(p); }
+  /// cudaMemcpy (any direction) charged to this PE.
+  void cuda_memcpy(void* dst, const void* src, std::size_t n);
+  /// Launch a GPU kernel over `cells` with the functional update `body`.
+  void launch_kernel(std::size_t cells, double per_cell_ns,
+                     const std::function<void()>& body);
+  /// Busy CPU compute (no progress — the Fig 10 overlap victim).
+  void compute(sim::Duration d);
+
+  sim::Time now();
+
+  // ---- runtime internals (used by transports / proxy) ----------------------------
+  /// Run the progress engine until `pred()` holds.
+  template <typename Pred>
+  void wait_for(Pred&& pred) {
+    while (true) {
+      progress();
+      if (pred()) return;
+      if (!rx_.empty()) continue;  // more target-side work already queued
+      proc().await(progress_note_);
+    }
+  }
+  void progress();
+  void notify_progress() { progress_note_.notify(); }
+  /// Account an operation under `proto` (runtime-wide stats + per-PE note
+  /// for the tracer).
+  void count_protocol(Protocol proto, std::size_t bytes) {
+    rt_->stats().count(proto, bytes);
+    last_protocol_ = proto;
+  }
+  Protocol last_protocol() const { return last_protocol_; }
+  sim::Mailbox<CtrlMsg>& rx() { return rx_; }
+  void track(sim::CompletionPtr c) { pending_.push_back(std::move(c)); }
+  /// Keep a snapshot buffer alive until pending ops drain (inline puts).
+  void keep_alive(std::shared_ptr<std::vector<std::byte>> buf) {
+    snapshots_.push_back(std::move(buf));
+  }
+  /// Host bounce buffer (registered at init) for staging pipelines.
+  std::byte* bounce(std::size_t min_bytes);
+  /// Acquire a pre-registered inline-send slot (second member is the slot's
+  /// completion entry to fill); recycles a small ring, waiting when the
+  /// oldest slot is still in flight.
+  std::pair<std::byte*, sim::CompletionPtr*> inline_slot();
+  cudart::Stream& stream() { return stream_; }
+  /// Target-side rendezvous staging (baseline): serialized by a busy flag.
+  /// Registration cost (on growth) is charged to `worker`.
+  std::byte* rendezvous_staging(std::size_t bytes);
+  std::byte* rendezvous_staging(std::size_t bytes, sim::Process& worker);
+  bool staging_busy() const { return staging_busy_; }
+  void set_staging_busy(bool b) { staging_busy_ = b; }
+  std::deque<CtrlMsg>& deferred_rts() { return deferred_rts_; }
+  /// Eager flow control: at most one outstanding eager message per peer.
+  std::map<int, sim::CompletionPtr>& eager_outstanding() {
+    return eager_outstanding_;
+  }
+  /// Registered source-side bounce slot for eager sends to `peer`
+  /// (safe to reuse once the previous eager to that peer is ACKed).
+  std::byte* eager_src_slot(int peer);
+
+ private:
+  friend class Runtime;
+
+  enum class ReduceOp { kSum, kMin, kMax };
+  enum class ScalarType { kF32, kF64, kI32, kI64 };
+  template <typename T>
+  static ScalarType type_tag();
+
+  void reduce_impl(void* dst, const void* src, std::size_t nelems, ReduceOp op,
+                   ScalarType t);
+  RmaOp make_op(void* remote_sym, void* local, std::size_t n, int pe,
+                bool blocking);
+  /// Layout of the runtime-internal synchronization region (host heap head).
+  struct SyncRegion;
+  SyncRegion& sync_region(int pe);
+
+  Runtime* rt_;
+  int pe_;
+  sim::Process* proc_ = nullptr;  // bound by Runtime::run
+
+  std::vector<sim::CompletionPtr> pending_;
+  std::vector<std::shared_ptr<std::vector<std::byte>>> snapshots_;
+  sim::Mailbox<CtrlMsg> rx_;
+  sim::Notification progress_note_;
+
+  std::vector<std::byte> bounce_;
+  static constexpr std::size_t kInlineSlots = 128;
+  std::vector<std::byte> inline_ring_;
+  std::vector<sim::CompletionPtr> inline_comps_;
+  std::size_t inline_next_ = 0;
+  cudart::Stream stream_;
+  std::vector<std::byte> rendezvous_staging_;
+  bool staging_busy_ = false;
+  std::deque<CtrlMsg> deferred_rts_;
+  std::map<int, sim::CompletionPtr> eager_outstanding_;
+  std::map<int, std::vector<std::byte>> eager_src_slots_;
+
+  Protocol last_protocol_ = Protocol::kCount_;
+  std::uint64_t alloc_seq_ = 0;
+  std::uint64_t barrier_gen_ = 0;
+  std::uint64_t bcast_gen_ = 0;
+  std::uint64_t coll_gen_ = 0;
+};
+
+template <> inline Ctx::ScalarType Ctx::type_tag<float>() { return ScalarType::kF32; }
+template <> inline Ctx::ScalarType Ctx::type_tag<double>() { return ScalarType::kF64; }
+template <> inline Ctx::ScalarType Ctx::type_tag<std::int32_t>() { return ScalarType::kI32; }
+template <> inline Ctx::ScalarType Ctx::type_tag<std::int64_t>() { return ScalarType::kI64; }
+
+}  // namespace gdrshmem::core

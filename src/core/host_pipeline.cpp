@@ -1,0 +1,454 @@
+// The CUDA-aware baseline of [15] ("Host-based Pipeline" in Table I).
+//
+// Intra-node: CUDA IPC copies. One copy when the destination can be mapped
+// (H-D, D-D put; D-H, D-D get), two copies through a host bounce otherwise
+// (D-H put, H-D get) — the paths the paper's shmem_ptr design beats by 40%.
+//
+// Inter-node: only same-domain configurations (H-H, D-D). Device transfers
+// stage through host memory and the *target PE performs the final copy*
+// inside its progress engine — the implicit synchronization that destroys
+// the overlap in Fig 10. Small messages use an eager protocol, large ones a
+// rendezvous pipeline (Fig 1).
+#include "core/transport_util.hpp"
+#include "core/transports.hpp"
+
+namespace gdrshmem::core {
+
+namespace {
+
+/// Shared state of one rendezvous transfer (put: staging at the target;
+/// get: staging at the requester).
+struct RndvState {
+  sim::Completion cts;
+  std::byte* staging = nullptr;
+  std::size_t total = 0;
+  std::size_t copied = 0;
+  int requester = -1;
+  std::shared_ptr<sim::Completion> done = std::make_shared<sim::Completion>();
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// dispatch
+
+void HostPipelineTransport::put(Ctx& ctx, const RmaOp& op) {
+  if (op.same_node) return put_intra(ctx, op);
+  const bool src_dev = op.local_is_device;
+  const bool dst_dev = op.remote_domain == Domain::kGpu;
+  if (!src_dev && !dst_dev) return detail::rdma_put(ctx, op, Protocol::kDirectRdma);
+  if (src_dev != dst_dev) {
+    throw UnsupportedError(
+        "host-based pipeline does not support inter-node H-D/D-H "
+        "configurations (see paper Section V-B)");
+  }
+  if (op.bytes <= rt_.tuning().eager_limit) return eager_put(ctx, op);
+  return rendezvous_put(ctx, op);
+}
+
+void HostPipelineTransport::get(Ctx& ctx, const RmaOp& op) {
+  if (op.same_node) return get_intra(ctx, op);
+  const bool loc_dev = op.local_is_device;
+  const bool rem_dev = op.remote_domain == Domain::kGpu;
+  if (!loc_dev && !rem_dev) return detail::rdma_get(ctx, op, Protocol::kDirectRdma);
+  if (loc_dev != rem_dev) {
+    throw UnsupportedError(
+        "host-based pipeline does not support inter-node H-D/D-H "
+        "configurations (see paper Section V-B)");
+  }
+  return remote_request_get(ctx, op);
+}
+
+void HostPipelineTransport::handle_ctrl(Ctx& ctx, CtrlMsg& msg,
+                                        sim::Process& worker) {
+  switch (msg.kind) {
+    case CtrlMsg::Kind::kEagerData: return on_eager_data(ctx, msg, worker);
+    case CtrlMsg::Kind::kEagerGetReq: return on_eager_get_req(ctx, msg, worker);
+    case CtrlMsg::Kind::kRendezvousRts: return on_rts(ctx, msg, worker);
+    case CtrlMsg::Kind::kRendezvousChunk: return on_chunk(ctx, msg, worker);
+    case CtrlMsg::Kind::kRendezvousGetReq: return on_get_req(ctx, msg, worker);
+    default:
+      throw ShmemError("host-pipeline: unexpected control message");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// intra-node (CUDA IPC designs of [15])
+
+void HostPipelineTransport::put_intra(Ctx& ctx, const RmaOp& op) {
+  const bool src_dev = op.local_is_device;
+  const bool dst_dev = op.remote_domain == Domain::kGpu;
+  if (!src_dev && !dst_dev) {
+    ctx.count_protocol(Protocol::kHostShm, op.bytes);
+    return detail::host_shm_copy(ctx, op.remote, op.local, op.bytes, op.target_pe);
+  }
+  if (dst_dev) {
+    // H-D or D-D put: map the destination, one IPC copy.
+    return detail::peer_cuda_copy(ctx, op.remote, op.local, op.bytes,
+                                  op.target_pe, Protocol::kIpcCopy, true);
+  }
+  // D-H put: IPC cannot map a host buffer — bounce D->H, then shm copy.
+  ctx.count_protocol(Protocol::kIpcStaged, op.bytes);
+  std::byte* b = ctx.bounce(op.bytes);
+  rt_.cuda().memcpy_sync(ctx.proc(), b, op.local, op.bytes);
+  detail::host_shm_copy(ctx, op.remote, b, op.bytes, op.target_pe);
+}
+
+void HostPipelineTransport::get_intra(Ctx& ctx, const RmaOp& op) {
+  const bool loc_dev = op.local_is_device;
+  const bool rem_dev = op.remote_domain == Domain::kGpu;
+  if (!loc_dev && !rem_dev) {
+    ctx.count_protocol(Protocol::kHostShm, op.bytes);
+    return detail::host_shm_copy(ctx, op.local, op.remote, op.bytes, -1);
+  }
+  if (rem_dev && loc_dev) {
+    // D-D get: one IPC copy.
+    return detail::peer_cuda_copy(ctx, op.local, op.remote, op.bytes,
+                                  op.target_pe, Protocol::kIpcCopy, true);
+  }
+  if (rem_dev) {
+    // H-D get: IPC D->H into a bounce, then shm copy into the user buffer.
+    ctx.count_protocol(Protocol::kIpcStaged, op.bytes);
+    rt_.map_peer_gpu_heap(ctx.proc(), ctx.my_pe(), op.target_pe);
+    std::byte* b = ctx.bounce(op.bytes);
+    rt_.cuda().memcpy_sync(ctx.proc(), b, op.remote, op.bytes);
+    detail::host_shm_copy(ctx, op.local, b, op.bytes, -1);
+    return;
+  }
+  // D-H get: one H->D copy from the peer's host heap ("on par", Fig 7d).
+  detail::peer_cuda_copy(ctx, op.local, op.remote, op.bytes, op.target_pe,
+                         Protocol::kIpcCopy, false);
+}
+
+// ---------------------------------------------------------------------------
+// inter-node eager
+
+void HostPipelineTransport::eager_put(Ctx& ctx, const RmaOp& op) {
+  ctx.count_protocol(Protocol::kEager, op.bytes);
+  const int me = ctx.my_pe();
+  const int dst = op.target_pe;
+
+  // Flow control: one eager message in flight per peer (one slot each).
+  auto& out = ctx.eager_outstanding();
+  ctx.wait_for([&] {
+    auto it = out.find(dst);
+    return it == out.end() || it->second->done();
+  });
+
+  // Source staging: D->H bounce for device sources, small copy for host
+  // sources — either way the user buffer is immediately reusable.
+  std::byte* slot_src = ctx.eager_src_slot(dst);
+  if (op.local_is_device) {
+    rt_.cuda().memcpy_sync(ctx.proc(), slot_src, op.local, op.bytes);
+  } else {
+    detail::host_shm_copy(ctx, slot_src, op.local, op.bytes, -1);
+  }
+
+  void* remote_slot = rt_.eager_slot(dst, me);
+  ctx.track(rt_.verbs().rdma_write(ctx.proc(), me, slot_src, dst, remote_slot,
+                                   op.bytes));
+
+  auto done = std::make_shared<sim::Completion>();
+  CtrlMsg msg;
+  msg.kind = CtrlMsg::Kind::kEagerData;
+  msg.from = me;
+  msg.remote = op.remote;
+  msg.bytes = op.bytes;
+  msg.state = done;
+  Runtime& rt = rt_;
+  rt_.verbs().post_send(ctx.proc(), me, dst, 32, [&rt, dst, msg] {
+    rt.ctx(dst).rx().post(msg);
+    rt.ctx(dst).notify_progress();
+  });
+  out[dst] = done;
+  ctx.track(std::move(done));
+}
+
+void HostPipelineTransport::on_eager_data(Ctx& ctx, CtrlMsg& msg,
+                                          sim::Process& worker) {
+  // Last pipeline hop, executed by the TARGET: eager slot -> final buffer.
+  void* slot = rt_.eager_slot(ctx.my_pe(), msg.from);
+  bool dst_dev =
+      rt_.cuda().attributes(msg.remote).space == cudart::MemSpace::kDevice;
+  if (dst_dev) {
+    rt_.cuda().memcpy_sync(worker, msg.remote, slot, msg.bytes);
+  } else {
+    detail::host_shm_copy_by(ctx, worker, msg.remote, slot, msg.bytes, -1);
+  }
+  auto done = std::static_pointer_cast<sim::Completion>(msg.state);
+  if (msg.is_reply) {
+    // We are the get requester: data is local, complete in place.
+    done->fire();
+    ctx.notify_progress();
+    return;
+  }
+  // ACK back to the source so its quiet() can retire the put.
+  Runtime& rt = rt_;
+  int requester = msg.from;
+  rt_.verbs().post_send(worker, ctx.my_pe(), requester, 0,
+                        [done, &rt, requester] {
+                          done->fire();
+                          rt.notify_pe(requester);
+                        });
+}
+
+void HostPipelineTransport::on_eager_get_req(Ctx& ctx, CtrlMsg& msg,
+                                             sim::Process& worker) {
+  // The TARGET of a small get eager-sends the data back.
+  const int requester = msg.from;
+  const int me = ctx.my_pe();
+  std::byte* slot_src = ctx.eager_src_slot(requester);
+  bool src_dev =
+      rt_.cuda().attributes(msg.remote).space == cudart::MemSpace::kDevice;
+  if (src_dev) {
+    rt_.cuda().memcpy_sync(worker, slot_src, msg.remote, msg.bytes);
+  } else {
+    detail::host_shm_copy_by(ctx, worker, slot_src, msg.remote, msg.bytes, -1);
+  }
+  rt_.verbs().rdma_write(worker, me, slot_src, requester,
+                         rt_.eager_slot(requester, me), msg.bytes);
+  CtrlMsg reply;
+  reply.kind = CtrlMsg::Kind::kEagerData;
+  reply.from = me;
+  reply.remote = msg.local;  // requester's final destination
+  reply.bytes = msg.bytes;
+  reply.is_reply = true;
+  reply.state = msg.state;
+  Runtime& rt = rt_;
+  rt_.verbs().post_send(worker, me, requester, 32, [&rt, requester, reply] {
+    rt.ctx(requester).rx().post(reply);
+    rt.ctx(requester).notify_progress();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// inter-node rendezvous (Fig 1 pipeline, target-side final hop)
+
+void HostPipelineTransport::grant_cts(Ctx& ctx, CtrlMsg& rts,
+                                      sim::Process& worker) {
+  auto st = std::static_pointer_cast<RndvState>(rts.state);
+  std::byte* staging = ctx.rendezvous_staging(rts.bytes, worker);
+  ctx.set_staging_busy(true);
+  Runtime& rt = rt_;
+  const int requester = rts.from;
+  rt_.verbs().post_send(worker, ctx.my_pe(), requester, 16,
+                        [st, staging, &rt, requester] {
+                          st->staging = staging;
+                          st->cts.fire();
+                          rt.notify_pe(requester);
+                        });
+}
+
+void HostPipelineTransport::on_rts(Ctx& ctx, CtrlMsg& msg, sim::Process& worker) {
+  if (ctx.staging_busy()) {
+    ctx.deferred_rts().push_back(msg);
+    return;
+  }
+  grant_cts(ctx, msg, worker);
+}
+
+void HostPipelineTransport::rendezvous_put(Ctx& ctx, const RmaOp& op) {
+  ctx.count_protocol(Protocol::kRendezvous, op.bytes);
+  const int me = ctx.my_pe();
+  const int dst = op.target_pe;
+  Runtime& rt = rt_;
+
+  auto st = std::make_shared<RndvState>();
+  st->total = op.bytes;
+  st->requester = me;
+
+  CtrlMsg rts;
+  rts.kind = CtrlMsg::Kind::kRendezvousRts;
+  rts.from = me;
+  rts.remote = op.remote;
+  rts.bytes = op.bytes;
+  rts.state = st;
+  rt_.verbs().post_send(ctx.proc(), me, dst, 32, [&rt, dst, rts] {
+    rt.ctx(dst).rx().post(rts);
+    rt.ctx(dst).notify_progress();
+  });
+  ctx.wait_for([&] { return st->cts.done(); });
+
+  const std::size_t chunk = rt_.tuning().pipeline_chunk;
+  std::byte* bounce = op.local_is_device ? ctx.bounce(2 * chunk) : nullptr;
+  sim::CompletionPtr slot_comp[2];
+  std::vector<sim::CompletionPtr> chunk_comps;
+  auto* local_bytes = static_cast<const std::byte*>(op.local);
+  for (std::size_t off = 0; off < op.bytes; off += chunk) {
+    std::size_t c = std::min(chunk, op.bytes - off);
+    const std::byte* buf;
+    if (bounce != nullptr) {
+      std::size_t s = (off / chunk) % 2;
+      if (slot_comp[s]) slot_comp[s]->wait(ctx.proc());  // bounce slot reusable
+      rt_.cuda().memcpy_sync(ctx.proc(), bounce + s * chunk, local_bytes + off, c);
+      buf = bounce + s * chunk;
+      auto comp = rt_.verbs().rdma_write(ctx.proc(), me, buf, dst,
+                                         st->staging + off, c);
+      slot_comp[s] = comp;
+      chunk_comps.push_back(comp);
+      ctx.track(std::move(comp));
+    } else {
+      auto comp = rt_.verbs().rdma_write(ctx.proc(), me, local_bytes + off, dst,
+                                         st->staging + off, c);
+      chunk_comps.push_back(comp);
+      ctx.track(std::move(comp));
+    }
+    CtrlMsg chunk_msg;
+    chunk_msg.kind = CtrlMsg::Kind::kRendezvousChunk;
+    chunk_msg.from = me;
+    chunk_msg.remote = op.remote;
+    chunk_msg.bytes = c;
+    chunk_msg.offset = off;
+    chunk_msg.state = st;
+    rt_.verbs().post_send(ctx.proc(), me, dst, 0, [&rt, dst, chunk_msg] {
+      rt.ctx(dst).rx().post(chunk_msg);
+      rt.ctx(dst).notify_progress();
+    });
+  }
+  ctx.track(st->done);
+  if (op.blocking && bounce == nullptr) {
+    // Host source: the chunks read the user buffer at delivery time, so a
+    // blocking put must wait for the data to leave it.
+    for (auto& c : chunk_comps) c->wait(ctx.proc());
+  }
+}
+
+void HostPipelineTransport::on_chunk(Ctx& ctx, CtrlMsg& msg,
+                                     sim::Process& worker) {
+  auto st = std::static_pointer_cast<RndvState>(msg.state);
+  auto* dst = static_cast<std::byte*>(msg.remote) + msg.offset;
+  bool dst_dev = rt_.cuda().attributes(dst).space == cudart::MemSpace::kDevice;
+  if (dst_dev) {
+    rt_.cuda().memcpy_sync(worker, dst, st->staging + msg.offset, msg.bytes);
+  } else {
+    detail::host_shm_copy_by(ctx, worker, dst, st->staging + msg.offset,
+                             msg.bytes, -1);
+  }
+  st->copied += msg.bytes;
+  if (st->copied < st->total) return;
+
+  // Transfer complete: release staging, service a deferred RTS, notify.
+  ctx.set_staging_busy(false);
+  if (!ctx.deferred_rts().empty()) {
+    CtrlMsg next = ctx.deferred_rts().front();
+    ctx.deferred_rts().pop_front();
+    grant_cts(ctx, next, worker);
+  }
+  if (msg.is_reply) {
+    // We are the get requester: done locally.
+    st->done->fire();
+    ctx.notify_progress();
+    return;
+  }
+  Runtime& rt = rt_;
+  auto done = st->done;
+  const int requester = st->requester;
+  rt_.verbs().post_send(worker, ctx.my_pe(), requester, 0,
+                        [done, &rt, requester] {
+                          done->fire();
+                          rt.notify_pe(requester);
+                        });
+}
+
+// ---------------------------------------------------------------------------
+// inter-node get (request/response — target involved on both protocols)
+
+void HostPipelineTransport::remote_request_get(Ctx& ctx, const RmaOp& op) {
+  const int me = ctx.my_pe();
+  const int target = op.target_pe;
+  Runtime& rt = rt_;
+
+  if (op.bytes <= rt_.tuning().eager_limit) {
+    ctx.count_protocol(Protocol::kEager, op.bytes);
+    auto done = std::make_shared<sim::Completion>();
+    CtrlMsg req;
+    req.kind = CtrlMsg::Kind::kEagerGetReq;
+    req.from = me;
+    req.local = op.local;
+    req.remote = op.remote;
+    req.bytes = op.bytes;
+    req.state = done;
+    rt_.verbs().post_send(ctx.proc(), me, target, 32, [&rt, target, req] {
+      rt.ctx(target).rx().post(req);
+      rt.ctx(target).notify_progress();
+    });
+    if (op.blocking) {
+      ctx.wait_for([&] { return done->done(); });
+    } else {
+      ctx.track(std::move(done));
+    }
+    return;
+  }
+
+  ctx.count_protocol(Protocol::kRendezvous, op.bytes);
+  // Requester-side staging for the reverse pipeline.
+  ctx.wait_for([&] { return !ctx.staging_busy(); });
+  auto st = std::make_shared<RndvState>();
+  st->total = op.bytes;
+  st->requester = me;
+  st->staging = ctx.rendezvous_staging(op.bytes);
+  ctx.set_staging_busy(true);
+
+  CtrlMsg req;
+  req.kind = CtrlMsg::Kind::kRendezvousGetReq;
+  req.from = me;
+  req.local = op.local;   // final destination at the requester
+  req.remote = op.remote; // source range at the target
+  req.bytes = op.bytes;
+  req.state = st;
+  rt_.verbs().post_send(ctx.proc(), me, target, 32, [&rt, target, req] {
+    rt.ctx(target).rx().post(req);
+    rt.ctx(target).notify_progress();
+  });
+  if (op.blocking) {
+    ctx.wait_for([&] { return st->done->done(); });
+  } else {
+    ctx.track(st->done);
+  }
+}
+
+void HostPipelineTransport::on_get_req(Ctx& ctx, CtrlMsg& msg,
+                                       sim::Process& worker) {
+  // TARGET side of a large get: pipeline D->H then RDMA into the
+  // requester's staging, flagging each chunk.
+  auto st = std::static_pointer_cast<RndvState>(msg.state);
+  const int me = ctx.my_pe();
+  const int requester = msg.from;
+  Runtime& rt = rt_;
+  const std::size_t chunk = rt_.tuning().pipeline_chunk;
+  bool src_dev = rt_.cuda().attributes(msg.remote).space == cudart::MemSpace::kDevice;
+  std::byte* bounce = src_dev ? ctx.bounce(2 * chunk) : nullptr;
+  sim::CompletionPtr slot_comp[2];
+  auto* src_bytes = static_cast<const std::byte*>(msg.remote);
+  for (std::size_t off = 0; off < msg.bytes; off += chunk) {
+    std::size_t c = std::min(chunk, msg.bytes - off);
+    const std::byte* buf;
+    if (bounce != nullptr) {
+      std::size_t s = (off / chunk) % 2;
+      if (slot_comp[s]) slot_comp[s]->wait(worker);
+      rt_.cuda().memcpy_sync(worker, bounce + s * chunk, src_bytes + off, c);
+      buf = bounce + s * chunk;
+    } else {
+      buf = src_bytes + off;
+    }
+    auto comp = rt_.verbs().rdma_write(worker, me, buf, requester,
+                                       st->staging + off, c);
+    if (bounce != nullptr) slot_comp[(off / chunk) % 2] = comp;
+    ctx.track(std::move(comp));
+
+    CtrlMsg chunk_msg;
+    chunk_msg.kind = CtrlMsg::Kind::kRendezvousChunk;
+    chunk_msg.from = me;
+    chunk_msg.remote = msg.local;  // requester's final destination
+    chunk_msg.bytes = c;
+    chunk_msg.offset = off;
+    chunk_msg.is_reply = true;
+    chunk_msg.state = st;
+    rt_.verbs().post_send(worker, me, requester, 0, [&rt, requester, chunk_msg] {
+      rt.ctx(requester).rx().post(chunk_msg);
+      rt.ctx(requester).notify_progress();
+    });
+  }
+}
+
+}  // namespace gdrshmem::core

@@ -1,0 +1,41 @@
+// The "Naive" design of Table I: the runtime only understands host memory.
+// Users must stage GPU data with explicit cudaMemcpy calls before/after
+// every communication — the productivity problem motivating the paper.
+#include "core/transport_util.hpp"
+#include "core/transports.hpp"
+
+namespace gdrshmem::core {
+
+void NaiveTransport::put(Ctx& ctx, const RmaOp& op) {
+  if (op.local_is_device || op.remote_domain == Domain::kGpu) {
+    throw UnsupportedError(
+        "naive transport cannot touch GPU memory: stage through the host "
+        "with cudaMemcpy first");
+  }
+  if (op.same_node) {
+    ctx.count_protocol(Protocol::kHostShm, op.bytes);
+    detail::host_shm_copy(ctx, op.remote, op.local, op.bytes, op.target_pe);
+    return;
+  }
+  detail::rdma_put(ctx, op, Protocol::kDirectRdma);
+}
+
+void NaiveTransport::get(Ctx& ctx, const RmaOp& op) {
+  if (op.local_is_device || op.remote_domain == Domain::kGpu) {
+    throw UnsupportedError(
+        "naive transport cannot touch GPU memory: stage through the host "
+        "with cudaMemcpy first");
+  }
+  if (op.same_node) {
+    ctx.count_protocol(Protocol::kHostShm, op.bytes);
+    detail::host_shm_copy(ctx, op.local, op.remote, op.bytes, -1);
+    return;
+  }
+  detail::rdma_get(ctx, op, Protocol::kDirectRdma);
+}
+
+void NaiveTransport::handle_ctrl(Ctx&, CtrlMsg&, sim::Process&) {
+  throw ShmemError("naive transport uses no control messages");
+}
+
+}  // namespace gdrshmem::core

@@ -1,0 +1,132 @@
+#include "core/proxy.hpp"
+
+#include "core/ctx.hpp"
+#include "core/runtime.hpp"
+
+namespace gdrshmem::core {
+
+using sim::Duration;
+
+ProxyDaemon::ProxyDaemon(Runtime& rt, int node, std::size_t staging_bytes)
+    : rt_(rt), node_(node), staging_(staging_bytes) {
+  // Proxy staging is registered under the node's service endpoint so PEs
+  // can RDMA-write into it.
+  rt_.verbs().reg_cache().register_at_init(endpoint(), staging_.data(),
+                                           staging_.size());
+}
+
+int ProxyDaemon::endpoint() const { return rt_.cluster().service_endpoint(node_); }
+
+void ProxyDaemon::start() {
+  rt_.engine().spawn(
+      "proxy-node" + std::to_string(node_),
+      [this](sim::Process& self) {
+        // Map every local PE's GPU heap once, at startup (III-C: "the IPC
+        // mapping is performed only during the heap creation").
+        for (int pe = 0; pe < rt_.num_pes(); ++pe) {
+          if (rt_.cluster().placement(pe).node == node_) {
+            rt_.map_peer_gpu_heap(self, endpoint(), pe);
+          }
+        }
+        serve(self);
+      },
+      /*daemon=*/true);
+}
+
+void ProxyDaemon::serve(sim::Process& self) {
+  while (true) {
+    CtrlMsg msg;
+    if (!stash_.empty()) {
+      msg = stash_.front();
+      stash_.pop_front();
+    } else {
+      msg = mb_.receive(self);
+    }
+    self.delay(Duration::us(rt_.cluster().params().progress_wakeup_us));
+    switch (msg.kind) {
+      case CtrlMsg::Kind::kProxyGet:
+        do_get(self, msg);
+        break;
+      case CtrlMsg::Kind::kProxyPutReq:
+        do_put(self, msg);
+        break;
+      default:
+        throw ShmemError("proxy: unexpected control message");
+    }
+  }
+}
+
+void ProxyDaemon::do_get(sim::Process& self, CtrlMsg& msg) {
+  // Reverse pipeline GDR write (Fig 5): IPC-copy D->H out of the local PE's
+  // GPU heap into proxy staging, RDMA-write chunks to the requester. The
+  // owning PE never participates.
+  ++gets_served_;
+  auto st = std::static_pointer_cast<ProxyGetState>(msg.state);
+  const int requester = msg.from;
+  const std::size_t chunk =
+      std::min(rt_.tuning().pipeline_chunk, staging_.size() / 2);
+  auto* src = static_cast<const std::byte*>(msg.remote);
+  auto* dst = static_cast<std::byte*>(msg.local);
+  sim::CompletionPtr slot_comp[2];
+  sim::CompletionPtr last;
+  for (std::size_t off = 0; off < msg.bytes; off += chunk) {
+    std::size_t c = std::min(chunk, msg.bytes - off);
+    std::size_t s = (off / chunk) % 2;
+    if (slot_comp[s]) slot_comp[s]->wait(self);
+    rt_.cuda().memcpy_sync(self, staging_.data() + s * chunk, src + off, c);
+    auto comp = rt_.verbs().rdma_write(self, endpoint(), staging_.data() + s * chunk,
+                                       requester, dst + off, c);
+    slot_comp[s] = comp;
+    last = std::move(comp);
+  }
+  if (last) last->wait(self);
+  Runtime& rt = rt_;
+  rt_.verbs().post_send(self, endpoint(), requester, 0, [st, &rt, requester] {
+    st->done->fire();
+    rt.notify_pe(requester);
+  });
+}
+
+void ProxyDaemon::do_put(sim::Process& self, CtrlMsg& req) {
+  // Staged put: grant our staging to the requester, then perform the final
+  // H->D IPC copy for each window it streams in.
+  ++puts_served_;
+  auto st = std::static_pointer_cast<ProxyPutState>(req.state);
+  const int requester = req.from;
+  Runtime& rt = rt_;
+  const std::size_t window = staging_.size();
+  rt_.verbs().post_send(self, endpoint(), requester, 16,
+                        [st, this, &rt, requester, window] {
+                          st->staging = staging_.data();
+                          st->window = window;
+                          st->cts.fire();
+                          rt.notify_pe(requester);
+                        });
+
+  std::size_t copied = 0;
+  while (copied < req.bytes) {
+    CtrlMsg m;
+    if (!stash_.empty() && stash_.front().kind == CtrlMsg::Kind::kProxyPutFin &&
+        stash_.front().state == req.state) {
+      m = stash_.front();
+      stash_.pop_front();
+    } else {
+      m = mb_.receive(self);
+    }
+    if (m.kind != CtrlMsg::Kind::kProxyPutFin || m.state != req.state) {
+      stash_.push_back(m);  // another transfer's message: serve it later
+      continue;
+    }
+    auto* dst = static_cast<std::byte*>(m.remote) + m.offset;
+    rt_.cuda().memcpy_sync(self, dst, staging_.data(), m.bytes);
+    copied += m.bytes;
+    ++st->windows_done;
+    rt_.notify_pe(requester);
+  }
+  rt_.verbs().post_send(self, endpoint(), requester, 0, [st, &rt, requester] {
+    st->done->fire();
+    rt.notify_pe(requester);
+  });
+}
+
+}  // namespace gdrshmem::core

@@ -1,0 +1,75 @@
+// Per-node proxy daemon (Section III-C, Fig 5): progresses large-message
+// transfers on behalf of every PE on its node, so the *target* PE is never
+// involved — preserving true one-sidedness while working around the PCIe
+// P2P bottlenecks.
+//
+// At startup the proxy IPC-maps the GPU heaps of all local PEs (done once,
+// at heap creation, avoiding context-switch overheads — III-C). It then
+// serves requests FIFO:
+//   * kProxyGet: reverse pipeline — IPC cudaMemcpy D->H from the local PE's
+//     GPU heap into proxy staging, then RDMA-write chunks to the requester.
+//   * kProxyPutReq/kProxyPutFin: the requester streams windows into proxy
+//     staging over RDMA; the proxy performs the final H->D IPC copy.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "core/ctrl.hpp"
+#include "sim/engine.hpp"
+#include "sim/future.hpp"
+#include "sim/mailbox.hpp"
+
+namespace gdrshmem::core {
+
+class Runtime;
+
+/// Shared state of one proxy-put transfer, carried in the control messages.
+struct ProxyPutState {
+  sim::Completion cts;           // fired when the proxy grants staging
+  std::byte* staging = nullptr;  // granted staging window
+  std::size_t window = 0;        // window capacity in bytes
+  std::uint64_t windows_done = 0;  // windows the proxy has drained to the GPU
+  std::shared_ptr<sim::Completion> done =
+      std::make_shared<sim::Completion>();  // all bytes at final destination
+  int requester = -1;
+};
+
+/// Shared state of one proxy-get transfer.
+struct ProxyGetState {
+  std::shared_ptr<sim::Completion> done = std::make_shared<sim::Completion>();
+  int requester = -1;
+};
+
+class ProxyDaemon {
+ public:
+  ProxyDaemon(Runtime& rt, int node, std::size_t staging_bytes = 8u << 20);
+
+  /// Spawn the daemon process (call before Runtime::run starts PEs).
+  void start();
+
+  int node() const { return node_; }
+  int endpoint() const;
+  sim::Mailbox<CtrlMsg>& mailbox() { return mb_; }
+  std::size_t staging_bytes() const { return staging_.size(); }
+
+  // Diagnostics.
+  std::uint64_t gets_served() const { return gets_served_; }
+  std::uint64_t puts_served() const { return puts_served_; }
+
+ private:
+  void serve(sim::Process& self);
+  void do_get(sim::Process& self, CtrlMsg& msg);
+  void do_put(sim::Process& self, CtrlMsg& req);
+
+  Runtime& rt_;
+  int node_;
+  std::vector<std::byte> staging_;
+  sim::Mailbox<CtrlMsg> mb_;
+  std::deque<CtrlMsg> stash_;  // messages deferred while a put is active
+  std::uint64_t gets_served_ = 0;
+  std::uint64_t puts_served_ = 0;
+};
+
+}  // namespace gdrshmem::core

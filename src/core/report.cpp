@@ -1,0 +1,53 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/proxy.hpp"
+
+namespace gdrshmem::core {
+
+std::string format_report(Runtime& rt) {
+  std::ostringstream os;
+  const OpStats& st = rt.stats();
+  os << "=== gdrshmem runtime report (" << to_string(rt.options().transport)
+     << ", " << rt.num_pes() << " PEs on " << rt.cluster().num_nodes()
+     << " nodes) ===\n";
+  os << "ops: " << st.puts << " puts, " << st.gets << " gets, " << st.atomics
+     << " atomics, " << st.barriers << " barrier entries\n";
+  os << "virtual time: " << std::fixed << std::setprecision(2)
+     << rt.engine().now().to_ms() << " ms ("
+     << rt.engine().events_executed() << " events)\n";
+  os << std::left << std::setw(22) << "protocol" << std::right << std::setw(12)
+     << "ops" << std::setw(16) << "bytes" << '\n';
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Protocol::kCount_); ++i) {
+    if (st.ops_by_protocol[i] == 0) continue;
+    os << std::left << std::setw(22) << to_string(static_cast<Protocol>(i))
+       << std::right << std::setw(12) << st.ops_by_protocol[i] << std::setw(16)
+       << st.bytes_by_protocol[i] << '\n';
+  }
+  os << "registration cache: " << rt.verbs().reg_cache().hits() << " hits, "
+     << rt.verbs().reg_cache().misses() << " misses\n";
+  if (rt.proxies_enabled()) {
+    std::uint64_t gets = 0, puts = 0;
+    for (int n = 0; n < rt.cluster().num_nodes(); ++n) {
+      gets += rt.proxy(n).gets_served();
+      puts += rt.proxy(n).puts_served();
+    }
+    os << "proxy daemons: " << gets << " gets, " << puts
+       << " puts progressed\n";
+  }
+  std::size_t host_used = 0, gpu_used = 0;
+  for (int pe = 0; pe < rt.num_pes(); ++pe) {
+    host_used += rt.heap(pe, Domain::kHost).used();
+    gpu_used += rt.heap(pe, Domain::kGpu).used();
+  }
+  os << "symmetric heaps: " << host_used / 1024 << " KiB host, "
+     << gpu_used / 1024 << " KiB GPU in use across PEs\n";
+  return os.str();
+}
+
+void print_report(Runtime& rt, std::ostream& os) { os << format_report(rt); }
+
+}  // namespace gdrshmem::core

@@ -1,0 +1,18 @@
+// Human-readable runtime diagnostics: which protocols carried how much
+// traffic, registration-cache behaviour, proxy activity, heap usage.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/runtime.hpp"
+
+namespace gdrshmem::core {
+
+/// Render a post-run report (protocol table + resource counters).
+std::string format_report(Runtime& rt);
+
+/// Convenience: stream it.
+void print_report(Runtime& rt, std::ostream& os);
+
+}  // namespace gdrshmem::core

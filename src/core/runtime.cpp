@@ -1,0 +1,169 @@
+#include "core/runtime.hpp"
+
+#include <cstring>
+
+#include "core/ctx.hpp"
+#include "core/proxy.hpp"
+#include "core/transports.hpp"
+
+namespace gdrshmem::core {
+
+Runtime::Runtime(const hw::ClusterConfig& cluster_cfg, const RuntimeOptions& opts)
+    : opts_(opts),
+      cluster_(cluster_cfg),
+      cuda_(engine_, cluster_),
+      verbs_(engine_, cluster_, cuda_) {
+  const int np = cluster_.num_pes();
+
+  // Symmetric heaps: one host + one GPU heap per PE, registered with the HCA
+  // at init (III-A). make_unique<T[]> value-initializes, so heaps are zeroed.
+  heaps_.reserve(static_cast<std::size_t>(np));
+  for (int pe = 0; pe < np; ++pe) {
+    hw::PePlacement pl = cluster_.placement(pe);
+    host_heap_storage_.push_back(std::make_unique<std::byte[]>(opts_.host_heap_bytes));
+    std::byte* host_base = host_heap_storage_.back().get();
+    auto* gpu_base = static_cast<std::byte*>(
+        cuda_.malloc_device(pl.node, pl.gpu, opts_.gpu_heap_bytes));
+    std::memset(gpu_base, 0, opts_.gpu_heap_bytes);
+    heaps_.push_back(PeHeaps{
+        SymmetricHeap(Domain::kHost, host_base, opts_.host_heap_bytes),
+        SymmetricHeap(Domain::kGpu, gpu_base, opts_.gpu_heap_bytes)});
+    verbs_.reg_cache().register_at_init(pe, host_base, opts_.host_heap_bytes);
+    verbs_.reg_cache().register_at_init(pe, gpu_base, opts_.gpu_heap_bytes);
+  }
+
+  // Eager slot regions (baseline transport): one slot per source PE.
+  const std::size_t slot = opts_.tuning.eager_limit;
+  for (int pe = 0; pe < np; ++pe) {
+    eager_storage_.push_back(
+        std::make_unique<std::byte[]>(slot * static_cast<std::size_t>(np)));
+    verbs_.reg_cache().register_at_init(pe, eager_storage_.back().get(),
+                                        slot * static_cast<std::size_t>(np));
+  }
+
+  // Per-PE contexts. Each reserves the runtime-internal sync region as the
+  // first (symmetric) allocation of its host heap.
+  ctxs_.reserve(static_cast<std::size_t>(np));
+  for (int pe = 0; pe < np; ++pe) {
+    ctxs_.push_back(std::make_unique<Ctx>(*this, pe));
+  }
+
+  switch (opts_.transport) {
+    case TransportKind::kNaive:
+      transport_ = std::make_unique<NaiveTransport>(*this);
+      break;
+    case TransportKind::kHostPipeline:
+      transport_ = std::make_unique<HostPipelineTransport>(*this);
+      break;
+    case TransportKind::kEnhancedGdr:
+      transport_ = std::make_unique<EnhancedGdrTransport>(*this);
+      if (opts_.tuning.use_proxy) {
+        for (int node = 0; node < cluster_.num_nodes(); ++node) {
+          proxies_.push_back(std::make_unique<ProxyDaemon>(*this, node));
+        }
+      }
+      break;
+  }
+
+  // Deliveries (RDMA data, atomics, ACKs) wake the owning PE's progress
+  // engine; service-endpoint deliveries are bookkeeping only.
+  verbs_.set_delivery_hook([this, np](int endpoint) {
+    if (endpoint < np) ctx(endpoint).notify_progress();
+  });
+}
+
+Runtime::~Runtime() { engine_.shutdown_daemons(); }
+
+void Runtime::run(std::function<void(Ctx&)> program) {
+  if (ran_) throw ShmemError("Runtime::run is single-shot; create a new Runtime");
+  ran_ = true;
+  for (auto& proxy : proxies_) proxy->start();
+  if (opts_.service_thread) {
+    // One service thread per PE, draining its control mailbox concurrently
+    // with (and racing) the PE's own progress engine.
+    for (int pe = 0; pe < num_pes(); ++pe) {
+      engine_.spawn(
+          "svc-pe" + std::to_string(pe),
+          [this, pe](sim::Process& self) {
+            Ctx& c = ctx(pe);
+            while (true) {
+              CtrlMsg m = c.rx().receive(self);
+              self.delay(sim::Duration::us(
+                  cluster_.params().progress_wakeup_us));
+              transport_->handle_ctrl(c, m, self);
+              c.notify_progress();
+            }
+          },
+          /*daemon=*/true);
+    }
+  }
+  for (int pe = 0; pe < num_pes(); ++pe) {
+    engine_.spawn("pe" + std::to_string(pe),
+                  [this, pe, program](sim::Process& p) {
+                    Ctx& c = ctx(pe);
+                    c.proc_ = &p;
+                    program(c);
+                  });
+  }
+  engine_.run();
+}
+
+void* Runtime::translate(const void* sym, int owner_pe, int target_pe,
+                         std::size_t n, Domain* domain_out) {
+  auto& own = heaps_.at(static_cast<std::size_t>(owner_pe));
+  auto& tgt = heaps_.at(static_cast<std::size_t>(target_pe));
+  for (auto [mine, theirs] : {std::pair{&own.host, &tgt.host},
+                              std::pair{&own.gpu, &tgt.gpu}}) {
+    if (mine->contains(sym)) {
+      std::size_t off = mine->offset_of(sym);
+      if (off + n > mine->size()) {
+        throw ShmemError("symmetric access overruns the heap");
+      }
+      if (domain_out) *domain_out = mine->domain();
+      return theirs->base() + off;
+    }
+  }
+  throw ShmemError("address is not symmetric (not in any heap of PE " +
+                   std::to_string(owner_pe) + ")");
+}
+
+bool Runtime::gdr_inter_socket(int pe) const {
+  hw::PePlacement pl = cluster_.placement(pe);
+  return cluster_.node(pl.node).hcas.at(static_cast<std::size_t>(pl.hca)).socket !=
+         pl.socket;
+}
+
+void* Runtime::eager_slot(int dst_pe, int src_pe) {
+  return eager_storage_.at(static_cast<std::size_t>(dst_pe)).get() +
+         static_cast<std::size_t>(src_pe) * opts_.tuning.eager_limit;
+}
+
+std::size_t Runtime::eager_slot_bytes() const { return opts_.tuning.eager_limit; }
+
+std::byte* Runtime::map_peer_gpu_heap(sim::Process& proc, int opener_pe,
+                                      int owner_pe) {
+  auto& h = heaps_.at(static_cast<std::size_t>(owner_pe)).gpu;
+  cudart::IpcHandle handle = cuda_.ipc_get_handle(h.base());
+  hw::PePlacement pl = cluster_.placement(opener_pe);
+  return static_cast<std::byte*>(
+      cuda_.ipc_open_handle(proc, handle, pl.node, opener_pe));
+}
+
+void Runtime::notify_pe(int pe) { ctx(pe).notify_progress(); }
+
+void Runtime::check_symmetric_alloc(std::uint64_t seq, std::size_t bytes, Domain d) {
+  if (seq < alloc_log_.size()) {
+    const AllocRecord& rec = alloc_log_[seq];
+    if (rec.bytes != bytes || rec.domain != d) {
+      throw ShmemError(
+          "shmalloc divergence: PEs disagree on collective allocation #" +
+          std::to_string(seq));
+    }
+  } else if (seq == alloc_log_.size()) {
+    alloc_log_.push_back(AllocRecord{bytes, d});
+  } else {
+    throw ShmemError("shmalloc sequence number out of order");
+  }
+}
+
+}  // namespace gdrshmem::core

@@ -1,0 +1,149 @@
+// The GDR-aware OpenSHMEM runtime: owns the simulated cluster, the CUDA and
+// verbs layers, per-PE symmetric heaps (host + GPU domains), the selected
+// transport, and the per-node proxy daemons. `run()` launches one simulated
+// process per PE and executes the SPMD program to completion in virtual
+// time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/heap.hpp"
+#include "core/transport.hpp"
+#include "core/trace.hpp"
+#include "core/tuning.hpp"
+#include "core/types.hpp"
+#include "cudart/cudart.hpp"
+#include "hw/topology.hpp"
+#include "ib/verbs.hpp"
+#include "sim/engine.hpp"
+
+namespace gdrshmem::core {
+
+class Ctx;
+class ProxyDaemon;
+
+struct RuntimeOptions {
+  std::size_t host_heap_bytes = 16u << 20;
+  std::size_t gpu_heap_bytes = 16u << 20;
+  TransportKind transport = TransportKind::kEnhancedGdr;
+  Tuning tuning;
+  /// The alternative Section III-C rejects in favor of the proxy: a service
+  /// thread per PE progresses incoming transfers asynchronously — restoring
+  /// overlap for the baseline, but stealing CPU from the application
+  /// (Ctx::compute is slowed by service_thread_compute_penalty).
+  bool service_thread = false;
+  double service_thread_compute_penalty = 1.0;
+};
+
+/// Operation accounting, mostly consumed by tests and the benchmark tables.
+struct OpStats {
+  std::array<std::uint64_t, static_cast<std::size_t>(Protocol::kCount_)>
+      ops_by_protocol{};
+  std::array<std::uint64_t, static_cast<std::size_t>(Protocol::kCount_)>
+      bytes_by_protocol{};
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t barriers = 0;
+
+  Protocol last_protocol = Protocol::kCount_;
+
+  void count(Protocol p, std::size_t bytes) {
+    ops_by_protocol[static_cast<std::size_t>(p)] += 1;
+    bytes_by_protocol[static_cast<std::size_t>(p)] += bytes;
+    last_protocol = p;
+  }
+  std::uint64_t ops(Protocol p) const {
+    return ops_by_protocol[static_cast<std::size_t>(p)];
+  }
+};
+
+class Runtime {
+ public:
+  explicit Runtime(const hw::ClusterConfig& cluster_cfg,
+                   const RuntimeOptions& opts = {});
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Launch the SPMD `program` on every PE and run the simulation to
+  /// completion. Single-shot: a Runtime instance runs one job.
+  void run(std::function<void(Ctx&)> program);
+
+  // ---- accessors ----------------------------------------------------------
+  sim::Engine& engine() { return engine_; }
+  hw::Cluster& cluster() { return cluster_; }
+  cudart::CudaRuntime& cuda() { return cuda_; }
+  ib::Verbs& verbs() { return verbs_; }
+  const RuntimeOptions& options() const { return opts_; }
+  const Tuning& tuning() const { return opts_.tuning; }
+  Transport& transport() { return *transport_; }
+  OpStats& stats() { return stats_; }
+  Tracer& tracer() { return tracer_; }
+  int num_pes() const { return cluster_.num_pes(); }
+  Ctx& ctx(int pe) { return *ctxs_.at(static_cast<std::size_t>(pe)); }
+  ProxyDaemon& proxy(int node) { return *proxies_.at(static_cast<std::size_t>(node)); }
+  bool proxies_enabled() const { return !proxies_.empty(); }
+
+  SymmetricHeap& heap(int pe, Domain d) {
+    auto& hs = heaps_.at(static_cast<std::size_t>(pe));
+    return d == Domain::kHost ? hs.host : hs.gpu;
+  }
+
+  /// Translate a symmetric address owned by `owner_pe` into `target_pe`'s
+  /// copy; `n` bytes must fit inside one heap. Returns the domain through
+  /// `domain_out`.
+  void* translate(const void* sym, int owner_pe, int target_pe, std::size_t n,
+                  Domain* domain_out);
+
+  /// True when `pe`'s HCA and GPU sit on different sockets — the severe
+  /// Table III P2P regime.
+  bool gdr_inter_socket(int pe) const;
+
+  /// Remote eager slot reserved for (src -> dst) baseline traffic.
+  void* eager_slot(int dst_pe, int src_pe);
+  std::size_t eager_slot_bytes() const;
+
+  /// IPC-map `owner_pe`'s GPU heap from `opener`'s context (one-time cost).
+  std::byte* map_peer_gpu_heap(sim::Process& proc, int opener_pe, int owner_pe);
+
+  /// Wake `pe`'s progress engine (data/ctrl/ack landed for it).
+  void notify_pe(int pe);
+
+  /// Collective-allocation consistency check (shmalloc is collective): every
+  /// PE must request the same (size, domain) for allocation number `seq`.
+  void check_symmetric_alloc(std::uint64_t seq, std::size_t bytes, Domain d);
+
+ private:
+  struct PeHeaps {
+    SymmetricHeap host;
+    SymmetricHeap gpu;
+  };
+  struct AllocRecord {
+    std::size_t bytes;
+    Domain domain;
+  };
+
+  RuntimeOptions opts_;
+  sim::Engine engine_;
+  hw::Cluster cluster_;
+  cudart::CudaRuntime cuda_;
+  ib::Verbs verbs_;
+  OpStats stats_;
+  Tracer tracer_;
+
+  std::vector<std::unique_ptr<std::byte[]>> host_heap_storage_;
+  std::vector<PeHeaps> heaps_;
+  std::vector<std::unique_ptr<std::byte[]>> eager_storage_;
+  std::vector<std::unique_ptr<Ctx>> ctxs_;
+  std::vector<std::unique_ptr<ProxyDaemon>> proxies_;
+  std::unique_ptr<Transport> transport_;
+  std::vector<AllocRecord> alloc_log_;
+  bool ran_ = false;
+};
+
+}  // namespace gdrshmem::core

@@ -1,0 +1,122 @@
+#include "core/shmem_api.hpp"
+
+#include "core/ctx.hpp"
+
+namespace gdrshmem::capi {
+
+namespace {
+thread_local core::Ctx* g_ctx = nullptr;
+}
+
+Bind::Bind(core::Ctx& ctx) {
+  if (g_ctx != nullptr) {
+    throw core::ShmemError("a C-API context is already bound on this PE");
+  }
+  g_ctx = &ctx;
+}
+
+Bind::~Bind() { g_ctx = nullptr; }
+
+core::Ctx& current() {
+  if (g_ctx == nullptr) {
+    throw core::ShmemError(
+        "no OpenSHMEM context bound: create a capi::Bind inside the PE body");
+  }
+  return *g_ctx;
+}
+
+int shmem_my_pe() { return current().my_pe(); }
+int shmem_n_pes() { return current().n_pes(); }
+
+void* shmalloc(std::size_t bytes, core::Domain domain) {
+  return current().shmalloc(bytes, domain);
+}
+void shfree(void* p) { current().shfree(p); }
+void* shmem_ptr(const void* sym, int pe) { return current().shmem_ptr(sym, pe); }
+
+void shmem_putmem(void* dst, const void* src, std::size_t n, int pe) {
+  current().putmem(dst, src, n, pe);
+}
+void shmem_getmem(void* dst, const void* src, std::size_t n, int pe) {
+  current().getmem(dst, src, n, pe);
+}
+void shmem_putmem_nbi(void* dst, const void* src, std::size_t n, int pe) {
+  current().putmem_nbi(dst, src, n, pe);
+}
+void shmem_getmem_nbi(void* dst, const void* src, std::size_t n, int pe) {
+  current().getmem_nbi(dst, src, n, pe);
+}
+void shmem_double_put(double* dst, const double* src, std::size_t n, int pe) {
+  current().put(dst, src, n, pe);
+}
+void shmem_double_get(double* dst, const double* src, std::size_t n, int pe) {
+  current().get(dst, src, n, pe);
+}
+void shmem_float_put(float* dst, const float* src, std::size_t n, int pe) {
+  current().put(dst, src, n, pe);
+}
+void shmem_float_get(float* dst, const float* src, std::size_t n, int pe) {
+  current().get(dst, src, n, pe);
+}
+void shmem_longlong_put(long long* dst, const long long* src, std::size_t n, int pe) {
+  current().put(dst, src, n, pe);
+}
+void shmem_longlong_get(long long* dst, const long long* src, std::size_t n, int pe) {
+  current().get(dst, src, n, pe);
+}
+
+void shmem_quiet() { current().quiet(); }
+void shmem_fence() { current().fence(); }
+void shmem_barrier_all() { current().barrier_all(); }
+
+void shmem_longlong_wait_until(const long long* sym, int cmp_op, long long value) {
+  core::Cmp op;
+  switch (cmp_op) {
+    case SHMEM_CMP_EQ: op = core::Cmp::kEq; break;
+    case SHMEM_CMP_NE: op = core::Cmp::kNe; break;
+    case SHMEM_CMP_GT: op = core::Cmp::kGt; break;
+    case SHMEM_CMP_GE: op = core::Cmp::kGe; break;
+    case SHMEM_CMP_LT: op = core::Cmp::kLt; break;
+    case SHMEM_CMP_LE: op = core::Cmp::kLe; break;
+    default: throw core::ShmemError("bad SHMEM_CMP_* operator");
+  }
+  current().wait_until(reinterpret_cast<const std::int64_t*>(sym), op,
+                       static_cast<std::int64_t>(value));
+}
+
+long long shmem_longlong_fadd(long long* sym, long long value, int pe) {
+  return current().atomic_fetch_add(reinterpret_cast<std::int64_t*>(sym), value, pe);
+}
+void shmem_longlong_add(long long* sym, long long value, int pe) {
+  current().atomic_add(reinterpret_cast<std::int64_t*>(sym), value, pe);
+}
+long long shmem_longlong_finc(long long* sym, int pe) {
+  return current().atomic_fetch_inc(reinterpret_cast<std::int64_t*>(sym), pe);
+}
+long long shmem_longlong_cswap(long long* sym, long long cond, long long value,
+                               int pe) {
+  return current().atomic_compare_swap(reinterpret_cast<std::int64_t*>(sym), cond,
+                                       value, pe);
+}
+long long shmem_longlong_swap(long long* sym, long long value, int pe) {
+  return current().atomic_swap(reinterpret_cast<std::int64_t*>(sym), value, pe);
+}
+int shmem_int_fadd(int* sym, int value, int pe) {
+  return current().atomic_fetch_add32(reinterpret_cast<std::int32_t*>(sym), value, pe);
+}
+
+void shmem_broadcastmem(void* dst, const void* src, std::size_t n, int root) {
+  current().broadcastmem(dst, src, n, root);
+}
+void shmem_double_sum_to_all(double* dst, const double* src, std::size_t nreduce) {
+  current().sum_to_all(dst, src, nreduce);
+}
+void shmem_longlong_max_to_all(long long* dst, const long long* src, std::size_t n) {
+  current().max_to_all(reinterpret_cast<std::int64_t*>(dst),
+                       reinterpret_cast<const std::int64_t*>(src), n);
+}
+void shmem_fcollectmem(void* dst, const void* src, std::size_t nbytes) {
+  current().fcollectmem(dst, src, nbytes);
+}
+
+}  // namespace gdrshmem::capi

@@ -1,0 +1,90 @@
+// Classic C-style OpenSHMEM API, bound to the calling PE via a thread-local
+// context — so paper-style application code ports almost verbatim:
+//
+//   gdrshmem::core::Runtime rt(cluster, opts);
+//   rt.run([](gdrshmem::core::Ctx& ctx) {
+//     capi::Bind bind(ctx);                      // once per PE body
+//     double* x = (double*)shmalloc(n, Domain::kGpu);
+//     shmem_putmem(x, src, n, (shmem_my_pe() + 1) % shmem_n_pes());
+//     shmem_quiet();
+//     shmem_barrier_all();
+//   });
+//
+// Every function forwards to the bound Ctx; calling without a bound context
+// throws ShmemError.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace gdrshmem::core {
+class Ctx;
+}
+
+namespace gdrshmem::capi {
+
+/// RAII binder: installs `ctx` as the calling thread's current PE context.
+class Bind {
+ public:
+  explicit Bind(core::Ctx& ctx);
+  ~Bind();
+  Bind(const Bind&) = delete;
+  Bind& operator=(const Bind&) = delete;
+};
+
+/// The bound context (throws if none).
+core::Ctx& current();
+
+// ---- setup / query --------------------------------------------------------
+int shmem_my_pe();
+int shmem_n_pes();
+
+// ---- symmetric memory (with the paper's Domain extension) -----------------
+void* shmalloc(std::size_t bytes, core::Domain domain = core::Domain::kHost);
+void shfree(void* p);
+void* shmem_ptr(const void* sym, int pe);
+
+// ---- RMA --------------------------------------------------------------------
+void shmem_putmem(void* dst, const void* src, std::size_t n, int pe);
+void shmem_getmem(void* dst, const void* src, std::size_t n, int pe);
+void shmem_putmem_nbi(void* dst, const void* src, std::size_t n, int pe);
+void shmem_getmem_nbi(void* dst, const void* src, std::size_t n, int pe);
+void shmem_double_put(double* dst, const double* src, std::size_t n, int pe);
+void shmem_double_get(double* dst, const double* src, std::size_t n, int pe);
+void shmem_float_put(float* dst, const float* src, std::size_t n, int pe);
+void shmem_float_get(float* dst, const float* src, std::size_t n, int pe);
+void shmem_longlong_put(long long* dst, const long long* src, std::size_t n, int pe);
+void shmem_longlong_get(long long* dst, const long long* src, std::size_t n, int pe);
+
+// ---- ordering ----------------------------------------------------------------
+void shmem_quiet();
+void shmem_fence();
+
+// ---- synchronization ------------------------------------------------------------
+void shmem_barrier_all();
+void shmem_longlong_wait_until(const long long* sym, int cmp_op, long long value);
+// SHMEM_CMP_* constants.
+inline constexpr int SHMEM_CMP_EQ = 0;
+inline constexpr int SHMEM_CMP_NE = 1;
+inline constexpr int SHMEM_CMP_GT = 2;
+inline constexpr int SHMEM_CMP_GE = 3;
+inline constexpr int SHMEM_CMP_LT = 4;
+inline constexpr int SHMEM_CMP_LE = 5;
+
+// ---- atomics ---------------------------------------------------------------------
+long long shmem_longlong_fadd(long long* sym, long long value, int pe);
+void shmem_longlong_add(long long* sym, long long value, int pe);
+long long shmem_longlong_finc(long long* sym, int pe);
+long long shmem_longlong_cswap(long long* sym, long long cond, long long value, int pe);
+long long shmem_longlong_swap(long long* sym, long long value, int pe);
+int shmem_int_fadd(int* sym, int value, int pe);
+
+// ---- collectives --------------------------------------------------------------------
+void shmem_broadcastmem(void* dst, const void* src, std::size_t n, int root);
+void shmem_double_sum_to_all(double* dst, const double* src, std::size_t nreduce);
+void shmem_longlong_max_to_all(long long* dst, const long long* src, std::size_t n);
+void shmem_fcollectmem(void* dst, const void* src, std::size_t nbytes);
+
+}  // namespace gdrshmem::capi

@@ -1,0 +1,18 @@
+#include "core/trace.hpp"
+
+#include <sstream>
+
+namespace gdrshmem::core {
+
+std::string Tracer::to_csv() const {
+  std::ostringstream os;
+  os << "pe,kind,target,bytes,protocol,start_us,end_us\n";
+  for (const TraceEvent& e : events_) {
+    os << e.pe << ',' << to_string(e.kind) << ',' << e.target << ',' << e.bytes
+       << ',' << (e.protocol == Protocol::kCount_ ? "?" : to_string(e.protocol))
+       << ',' << e.start.to_us() << ',' << e.end.to_us() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gdrshmem::core

@@ -1,0 +1,53 @@
+// Operation-level tracing: when enabled, every put/get/atomic records
+// (PE, kind, protocol, bytes, target, start, end) in virtual time. Useful
+// for understanding protocol selection and communication phases; exports
+// CSV for external plotting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "sim/time.hpp"
+
+namespace gdrshmem::core {
+
+struct TraceEvent {
+  int pe = -1;
+  int target = -1;
+  enum class Kind { kPut, kGet, kAtomic } kind = Kind::kPut;
+  Protocol protocol = Protocol::kCount_;  // kCount_ = unknown/none
+  std::size_t bytes = 0;
+  sim::Time start;
+  sim::Time end;
+};
+
+inline const char* to_string(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::kPut: return "put";
+    case TraceEvent::Kind::kGet: return "get";
+    case TraceEvent::Kind::kAtomic: return "atomic";
+  }
+  return "?";
+}
+
+class Tracer {
+ public:
+  void enable() { enabled_ = true; }
+  bool enabled() const { return enabled_; }
+  void record(TraceEvent ev) {
+    if (enabled_) events_.push_back(ev);
+  }
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  /// One line per event: pe,kind,target,bytes,protocol,start_us,end_us.
+  std::string to_csv() const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace gdrshmem::core

@@ -1,0 +1,52 @@
+// Protocol-selection thresholds of the Enhanced-GDR design. These are the
+// "runtime parameters ... tuned for different architectures" of Section
+// III-B: GDR is latency-optimal for small messages but its PCIe P2P
+// bandwidth caps (Table III) make staging designs win past a crossover.
+#pragma once
+
+#include <cstddef>
+
+namespace gdrshmem::core {
+
+struct Tuning {
+  // ---- intra-node hybrid (loopback GDR vs CUDA IPC / shmem_ptr) ----------
+  /// Max size for loopback-GDR when the GPU leg is a P2P *write*
+  /// (e.g. H-D put: HCA writes into the GPU). Crossover vs the one-copy
+  /// CUDA IPC path measured by bench_ablation_thresholds.
+  std::size_t loopback_gdr_write_limit = 64 * 1024;
+  /// Max size when the GPU leg is a P2P *read* (lower: read bw is worse;
+  /// throughput-tuned below the pairwise crossover, like the inter-node
+  /// read window — see bench_fig12_lbm).
+  std::size_t loopback_gdr_read_limit = 8 * 1024;
+
+  // ---- inter-node hybrid (Direct GDR vs pipeline / proxy) ----------------
+  /// Max size for Direct GDR when the GPU leg is a P2P write (the write cap
+  /// of 6,396 MB/s is near wire speed, so the window is wide).
+  std::size_t direct_gdr_write_limit = 256 * 1024;
+  /// Max size when a GPU leg requires a P2P read (source on GPU, or a get).
+  /// Pairwise latency crosses over near ~128 KB (bench_ablation_thresholds),
+  /// but under concurrent application traffic the P2P read serializes on the
+  /// source GPU's PCIe slot while the pipeline overlaps D->H with the wire —
+  /// so the default window is throughput-tuned to 32 KB (bench_fig12_lbm).
+  std::size_t direct_gdr_read_limit = 32 * 1024;
+  /// When the PE's HCA and GPU sit on different sockets the P2P caps are
+  /// catastrophic (247 / 1179 MB/s); shrink the GDR window by this divisor.
+  std::size_t inter_socket_gdr_divisor = 16;
+
+  /// Chunk size of the pipeline-GDR-write and proxy pipelines.
+  std::size_t pipeline_chunk = 256 * 1024;
+
+  /// Puts at or below this size are buffered inline (source buffer is
+  /// immediately reusable without waiting for the ACK).
+  std::size_t inline_put_limit = 128;
+
+  /// Use the per-node proxy daemon for large transfers that would otherwise
+  /// hit a P2P read bottleneck or require target involvement.
+  bool use_proxy = true;
+
+  // ---- baseline (host pipeline) -------------------------------------------
+  /// Eager/rendezvous switch of the baseline transport.
+  std::size_t eager_limit = 8 * 1024;
+};
+
+}  // namespace gdrshmem::core

@@ -1,0 +1,86 @@
+// Common public types of the GDR-aware OpenSHMEM runtime.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+namespace gdrshmem::core {
+
+class ShmemError : public std::runtime_error {
+ public:
+  explicit ShmemError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a transport does not implement a configuration (e.g. the
+/// host-based pipeline baseline has no inter-node H-D/D-H path).
+class UnsupportedError : public ShmemError {
+ public:
+  explicit UnsupportedError(const std::string& what) : ShmemError(what) {}
+};
+
+/// Symmetric-heap domain, the paper's extension to shmalloc: where the
+/// allocation lives (host DRAM or GPU device memory).
+enum class Domain { kHost, kGpu };
+
+/// Which runtime design services communication.
+enum class TransportKind {
+  kNaive,         // host-only; device buffers are the user's problem
+  kHostPipeline,  // CUDA-aware baseline of [15]: host staging + target copy
+  kEnhancedGdr,   // this paper: GDR/IPC hybrids, pipeline-GDR-write, proxy
+};
+
+inline const char* to_string(TransportKind k) {
+  switch (k) {
+    case TransportKind::kNaive: return "naive";
+    case TransportKind::kHostPipeline: return "host-pipeline";
+    case TransportKind::kEnhancedGdr: return "enhanced-gdr";
+  }
+  return "?";
+}
+
+inline const char* to_string(Domain d) {
+  return d == Domain::kHost ? "host" : "gpu";
+}
+
+/// Protocols a transport can select; used for accounting and tests.
+enum class Protocol {
+  kHostShm,        // shared-memory copy between host heaps, same node
+  kLoopbackGdr,    // intra-node RDMA loopback with a GDR leg
+  kIpcCopy,        // CUDA IPC cudaMemcpy (direct, one copy)
+  kIpcStaged,      // CUDA IPC copy via a host staging bounce (two copies)
+  kShmemPtrCopy,   // cudaMemcpy straight into the peer's host heap (Fig 3)
+  kDirectGdr,      // inter-node RDMA with GDR leg(s) (Fig 4 solid)
+  kDirectRdma,     // inter-node host-to-host RDMA
+  kPipelineGdrWrite,  // D->H IPC staging + GDR write chunks (Fig 4 dotted)
+  kHostStagedGet,  // RDMA read to local host staging + local H2D copy
+  kProxyGet,       // remote proxy executes the reverse pipeline (Fig 5)
+  kProxyPut,       // remote proxy stages the last hop
+  kEager,          // baseline eager: bounce + RDMA + target-side copy
+  kRendezvous,     // baseline large-message pipeline with target involvement
+  kAtomicHw,       // IB hardware atomic
+  kCount_,
+};
+
+inline const char* to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kHostShm: return "host-shm";
+    case Protocol::kLoopbackGdr: return "loopback-gdr";
+    case Protocol::kIpcCopy: return "ipc-copy";
+    case Protocol::kIpcStaged: return "ipc-staged";
+    case Protocol::kShmemPtrCopy: return "shmem-ptr-copy";
+    case Protocol::kDirectGdr: return "direct-gdr";
+    case Protocol::kDirectRdma: return "direct-rdma";
+    case Protocol::kPipelineGdrWrite: return "pipeline-gdr-write";
+    case Protocol::kHostStagedGet: return "host-staged-get";
+    case Protocol::kProxyGet: return "proxy-get";
+    case Protocol::kProxyPut: return "proxy-put";
+    case Protocol::kEager: return "eager";
+    case Protocol::kRendezvous: return "rendezvous";
+    case Protocol::kAtomicHw: return "atomic-hw";
+    case Protocol::kCount_: break;
+  }
+  return "?";
+}
+
+}  // namespace gdrshmem::core

@@ -1,0 +1,93 @@
+// The hardware cost model: every latency/bandwidth constant the simulated
+// cluster charges, in one tunable struct.
+//
+// Defaults are calibrated against the paper's published measurements on the
+// Wilkes cluster (dual-socket IvyBridge, 2x Tesla K20, 2x FDR IB per node):
+//   * Table III  — PCIe P2P read/write bandwidth, intra vs inter socket
+//   * Table II   — 4 B put latency at IB and OpenSHMEM level
+//   * Fig 6-9    — put/get latency curves for every configuration
+// See EXPERIMENTS.md for the calibration evidence.
+#pragma once
+
+#include <cstddef>
+
+namespace gdrshmem::hw {
+
+struct SystemParams {
+  // ---- PCIe fabric ----------------------------------------------------
+  /// cudaMemcpy DMA bandwidth between host memory and a GPU (MB/s).
+  double pcie_h2d_bw_mbps = 10000.0;
+  double pcie_d2h_bw_mbps = 10000.0;
+  /// Device-local copy bandwidth (src and dst on the same GPU).
+  double gpu_local_copy_bw_mbps = 150000.0;
+  /// CUDA IPC copy between two GPUs through the PCIe root complex.
+  double pcie_gpu_peer_bw_mbps = 9000.0;
+
+  /// PCIe peer-to-peer (HCA <-> GPU) bandwidth, Table III of the paper.
+  double p2p_read_intra_socket_bw_mbps = 3421.0;
+  double p2p_read_inter_socket_bw_mbps = 247.0;
+  double p2p_write_intra_socket_bw_mbps = 6396.0;
+  double p2p_write_inter_socket_bw_mbps = 1179.0;
+
+  /// One PCIe traversal (root complex hop) and the extra QPI/socket hop.
+  double pcie_hop_latency_us = 0.25;
+  /// A P2P access into GPU BAR memory is slower than a host DMA hop.
+  double gdr_hop_latency_us = 0.55;
+  double qpi_hop_latency_us = 0.35;
+
+  // ---- CUDA runtime ----------------------------------------------------
+  /// Driver + copy-engine launch overhead charged by every cudaMemcpy.
+  double cuda_copy_launch_us = 5.4;
+  /// Kernel launch overhead.
+  double cuda_kernel_launch_us = 6.0;
+  /// One-time cost of cudaIpcOpenMemHandle (mapping a peer allocation).
+  double cuda_ipc_open_us = 85.0;
+
+  // ---- InfiniBand ------------------------------------------------------
+  /// FDR 4x link bandwidth as measured by the paper (MB/s).
+  double ib_bandwidth_mbps = 6397.0;
+  /// HCA DMA bandwidth to/from host memory (not the bottleneck on Wilkes).
+  double hca_host_dma_bw_mbps = 11000.0;
+  /// Software cost to post a work request (write descriptor + doorbell).
+  double ib_post_overhead_us = 0.30;
+  /// Per-HCA processing of a work request / incoming packet.
+  double hca_processing_us = 0.20;
+  /// Cable propagation + port traversal (one direction, one cable).
+  double wire_latency_us = 0.15;
+  /// Switch crossing.
+  double switch_latency_us = 0.10;
+  /// Extra execution time of an IB hardware atomic at the target HCA.
+  double ib_atomic_exec_us = 0.40;
+  /// Delay between a completion landing and the polling CPU noticing.
+  double completion_poll_us = 0.10;
+
+  // ---- Memory registration ----------------------------------------------
+  double mr_register_base_us = 55.0;
+  double mr_register_per_mb_us = 90.0;
+
+  // ---- Host-side software -----------------------------------------------
+  /// Shared-memory (process-to-process, same node) copy bandwidth.
+  double host_memcpy_bw_mbps = 11000.0;
+  double host_memcpy_overhead_us = 0.20;
+  /// OpenSHMEM bookkeeping charged per API call (address translation,
+  /// descriptor lookup).
+  double shmem_sw_overhead_us = 0.15;
+  /// Latency for an idle PE inside the progress engine to notice and start
+  /// servicing an incoming runtime request (per control message).
+  double progress_wakeup_us = 2.5;
+
+  // ---- Pipelining -------------------------------------------------------
+  /// Chunk size used by the host-based pipeline and pipeline-GDR-write
+  /// protocols (bytes).
+  std::size_t pipeline_chunk_bytes = 256 * 1024;
+
+  // ---- GPU compute model -------------------------------------------------
+  /// Per-lattice-cell update cost used by the application kernels (ns).
+  /// Stencil2D and LBM override this per app; see src/apps.
+  double gpu_cell_update_ns = 0.9;
+
+  /// Wilkes-like defaults (what the paper evaluated on).
+  static SystemParams wilkes() { return SystemParams{}; }
+};
+
+}  // namespace gdrshmem::hw

@@ -1,0 +1,159 @@
+#include "hw/topology.hpp"
+
+namespace gdrshmem::hw {
+
+using sim::Duration;
+using sim::Path;
+
+Cluster::Cluster(const ClusterConfig& cfg) : cfg_(cfg) {
+  if (cfg.num_nodes < 1 || cfg.pes_per_node < 1) {
+    throw std::invalid_argument("cluster needs >=1 node and >=1 PE per node");
+  }
+  if (cfg.gpus_per_node < 1 || cfg.hcas_per_node < 1 || cfg.sockets_per_node < 1) {
+    throw std::invalid_argument("cluster needs >=1 GPU, HCA and socket per node");
+  }
+  const SystemParams& p = cfg.params;
+  nodes_.reserve(static_cast<std::size_t>(cfg.num_nodes));
+  for (int n = 0; n < cfg.num_nodes; ++n) {
+    auto node = std::make_unique<NodeModel>();
+    node->id = n;
+    node->sockets = cfg.sockets_per_node;
+    for (int g = 0; g < cfg.gpus_per_node; ++g) {
+      node->gpus.emplace_back(n, g, g % cfg.sockets_per_node, p.pcie_h2d_bw_mbps);
+    }
+    for (int h = 0; h < cfg.hcas_per_node; ++h) {
+      node->hcas.emplace_back(n, h, h % cfg.sockets_per_node,
+                              p.hca_host_dma_bw_mbps, p.ib_bandwidth_mbps);
+    }
+    node->host_mem = std::make_unique<sim::Link>(
+        "node" + std::to_string(n) + ".mem", p.host_memcpy_bw_mbps);
+    nodes_.push_back(std::move(node));
+  }
+}
+
+PePlacement Cluster::placement(int pe) const {
+  if (pe < 0 || pe >= num_pes() + num_nodes()) {
+    throw std::out_of_range("PE id out of range");
+  }
+  if (pe >= num_pes()) {
+    // Service endpoint (per-node proxy daemon): pinned to HCA 0 / GPU 0's
+    // socket on its node, with no local rank.
+    PePlacement pl;
+    pl.node = pe - num_pes();
+    pl.local_rank = -1;
+    pl.gpu = 0;
+    pl.hca = 0;
+    pl.socket = node(pl.node).hcas[0].socket;
+    return pl;
+  }
+  PePlacement pl;
+  pl.node = pe / cfg_.pes_per_node;
+  pl.local_rank = pe % cfg_.pes_per_node;
+  pl.gpu = pl.local_rank % cfg_.gpus_per_node;
+  pl.socket = node(pl.node).gpus[static_cast<std::size_t>(pl.gpu)].socket;
+  if (cfg_.hca_gpu_same_socket) {
+    // Prefer an HCA on the same socket as the PE's GPU.
+    pl.hca = 0;
+    for (int h = 0; h < cfg_.hcas_per_node; ++h) {
+      if (node(pl.node).hcas[static_cast<std::size_t>(h)].socket == pl.socket) {
+        pl.hca = h;
+        break;
+      }
+    }
+  } else {
+    // Deliberately pick an HCA on a different socket if one exists.
+    pl.hca = 0;
+    for (int h = 0; h < cfg_.hcas_per_node; ++h) {
+      if (node(pl.node).hcas[static_cast<std::size_t>(h)].socket != pl.socket) {
+        pl.hca = h;
+        break;
+      }
+    }
+  }
+  return pl;
+}
+
+Path Cluster::host_copy(int node_id) {
+  const SystemParams& p = params();
+  NodeModel& n = node(node_id);
+  return Path{Duration::us(p.host_memcpy_overhead_us), p.host_memcpy_bw_mbps,
+              {n.host_mem.get()}};
+}
+
+Path Cluster::cuda_h2d(int node_id, int gpu) {
+  const SystemParams& p = params();
+  NodeModel& n = node(node_id);
+  // DMA engines do not saturate the memory controller: only the GPU's PCIe
+  // slot is a contended resource for host<->device copies.
+  return Path{Duration::us(p.cuda_copy_launch_us + p.pcie_hop_latency_us),
+              p.pcie_h2d_bw_mbps,
+              {n.gpus.at(static_cast<std::size_t>(gpu)).pcie.get()}};
+}
+
+Path Cluster::cuda_d2h(int node_id, int gpu) {
+  const SystemParams& p = params();
+  NodeModel& n = node(node_id);
+  return Path{Duration::us(p.cuda_copy_launch_us + p.pcie_hop_latency_us),
+              p.pcie_d2h_bw_mbps,
+              {n.gpus.at(static_cast<std::size_t>(gpu)).pcie.get()}};
+}
+
+Path Cluster::cuda_d2d(int node_id, int src_gpu, int dst_gpu) {
+  const SystemParams& p = params();
+  NodeModel& n = node(node_id);
+  GpuDevice& src = n.gpus.at(static_cast<std::size_t>(src_gpu));
+  GpuDevice& dst = n.gpus.at(static_cast<std::size_t>(dst_gpu));
+  if (src_gpu == dst_gpu) {
+    // Device-local copy: no PCIe traversal, only the copy-engine launch.
+    return Path{Duration::us(p.cuda_copy_launch_us), p.gpu_local_copy_bw_mbps, {}};
+  }
+  double hop = p.cuda_copy_launch_us + 2 * p.pcie_hop_latency_us;
+  if (src.socket != dst.socket) hop += p.qpi_hop_latency_us;
+  return Path{Duration::us(hop), p.pcie_gpu_peer_bw_mbps,
+              {src.pcie.get(), dst.pcie.get()}};
+}
+
+Path Cluster::hca_host(int node_id, int hca) {
+  const SystemParams& p = params();
+  NodeModel& n = node(node_id);
+  return Path{Duration::us(p.pcie_hop_latency_us), p.hca_host_dma_bw_mbps,
+              {n.hcas.at(static_cast<std::size_t>(hca)).pcie.get()}};
+}
+
+Path Cluster::gdr_leg(int node_id, int hca, int gpu, P2pDir dir) {
+  const SystemParams& p = params();
+  NodeModel& n = node(node_id);
+  HcaDevice& h = n.hcas.at(static_cast<std::size_t>(hca));
+  GpuDevice& g = n.gpus.at(static_cast<std::size_t>(gpu));
+  bool intra_socket = (h.socket == g.socket);
+  double bw = 0;
+  switch (dir) {
+    case P2pDir::kRead:
+      bw = intra_socket ? p.p2p_read_intra_socket_bw_mbps
+                        : p.p2p_read_inter_socket_bw_mbps;
+      break;
+    case P2pDir::kWrite:
+      bw = intra_socket ? p.p2p_write_intra_socket_bw_mbps
+                        : p.p2p_write_inter_socket_bw_mbps;
+      break;
+  }
+  double lat = p.gdr_hop_latency_us + (intra_socket ? 0.0 : p.qpi_hop_latency_us);
+  return Path{Duration::us(lat), bw, {h.pcie.get(), g.pcie.get()}};
+}
+
+Path Cluster::wire(int src_node, int src_hca, int dst_node, int dst_hca) {
+  const SystemParams& p = params();
+  HcaDevice& s = node(src_node).hcas.at(static_cast<std::size_t>(src_hca));
+  HcaDevice& d = node(dst_node).hcas.at(static_cast<std::size_t>(dst_hca));
+  if (src_node == dst_node) {
+    // Adapter loopback: the message turns around inside the HCA (or between
+    // two HCAs through the local switch port pair); charge HCA processing
+    // only — callers add the DMA legs.
+    return Path{Duration::us(2 * p.hca_processing_us), p.ib_bandwidth_mbps,
+                {s.port.get()}};
+  }
+  double lat = 2 * p.hca_processing_us + 2 * p.wire_latency_us + p.switch_latency_us;
+  return Path{Duration::us(lat), p.ib_bandwidth_mbps, {s.port.get(), d.port.get()}};
+}
+
+}  // namespace gdrshmem::hw

@@ -1,0 +1,126 @@
+// Cluster topology model: nodes with sockets, GPUs, HCAs, and the
+// bandwidth-contended links between them, plus path builders that encode
+// which hardware segments each kind of transfer crosses.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "hw/params.hpp"
+#include "sim/link.hpp"
+#include "sim/time.hpp"
+
+namespace gdrshmem::hw {
+
+/// Direction of a PCIe peer-to-peer access from the HCA's point of view.
+enum class P2pDir { kRead, kWrite };
+
+struct GpuDevice {
+  int node = 0;
+  int index = 0;   // index within the node
+  int socket = 0;
+  std::unique_ptr<sim::Link> pcie;  // the GPU's PCIe x16 slot
+
+  GpuDevice(int node_, int index_, int socket_, double bw)
+      : node(node_), index(index_), socket(socket_),
+        pcie(std::make_unique<sim::Link>(
+            "node" + std::to_string(node_) + ".gpu" + std::to_string(index_) + ".pcie",
+            bw)) {}
+};
+
+struct HcaDevice {
+  int node = 0;
+  int index = 0;
+  int socket = 0;
+  std::unique_ptr<sim::Link> pcie;  // HCA's PCIe slot
+  std::unique_ptr<sim::Link> port;  // IB port into the fabric
+
+  HcaDevice(int node_, int index_, int socket_, double pcie_bw, double port_bw)
+      : node(node_), index(index_), socket(socket_),
+        pcie(std::make_unique<sim::Link>(
+            "node" + std::to_string(node_) + ".hca" + std::to_string(index_) + ".pcie",
+            pcie_bw)),
+        port(std::make_unique<sim::Link>(
+            "node" + std::to_string(node_) + ".hca" + std::to_string(index_) + ".port",
+            port_bw)) {}
+};
+
+struct NodeModel {
+  int id = 0;
+  int sockets = 2;
+  std::vector<GpuDevice> gpus;
+  std::vector<HcaDevice> hcas;
+  std::unique_ptr<sim::Link> host_mem;  // host memory controller
+};
+
+struct ClusterConfig {
+  int num_nodes = 2;
+  int pes_per_node = 1;
+  int gpus_per_node = 2;
+  int hcas_per_node = 2;
+  int sockets_per_node = 2;
+  /// If false, PEs are forced onto an HCA on the *other* socket from their
+  /// GPU, exposing the severe Table III inter-socket P2P bottleneck.
+  bool hca_gpu_same_socket = true;
+  SystemParams params;
+};
+
+/// Placement of one PE on the cluster.
+struct PePlacement {
+  int node = 0;
+  int local_rank = 0;  // rank within the node
+  int gpu = 0;         // GPU index within the node
+  int hca = 0;         // HCA index within the node
+  int socket = 0;      // socket the PE (and its GPU) lives on
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& cfg);
+
+  const ClusterConfig& config() const { return cfg_; }
+  const SystemParams& params() const { return cfg_.params; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_pes() const { return cfg_.num_nodes * cfg_.pes_per_node; }
+  NodeModel& node(int id) { return *nodes_.at(id); }
+  const NodeModel& node(int id) const { return *nodes_.at(id); }
+
+  /// Deterministic PE -> (node, gpu, hca, socket) placement. Ids in
+  /// [num_pes, num_pes + num_nodes) are *service endpoints* — one per node,
+  /// used by proxy daemons — pinned to HCA 0 with local_rank = -1.
+  PePlacement placement(int pe) const;
+  /// Endpoint id of node `n`'s service (proxy) endpoint.
+  int service_endpoint(int n) const { return num_pes() + n; }
+  bool same_node(int pe_a, int pe_b) const {
+    return placement(pe_a).node == placement(pe_b).node;
+  }
+
+  // ---- path builders -----------------------------------------------------
+  // Each returns the latency / effective bandwidth / occupied links for one
+  // hardware transfer segment. Segments compose with sim::combine().
+
+  /// Process-to-process copy through host shared memory on `node`.
+  sim::Path host_copy(int node_id);
+  /// cudaMemcpy host -> device.
+  sim::Path cuda_h2d(int node_id, int gpu);
+  /// cudaMemcpy device -> host.
+  sim::Path cuda_d2h(int node_id, int gpu);
+  /// cudaMemcpy device -> device (same or peer GPU, CUDA IPC path).
+  sim::Path cuda_d2d(int node_id, int src_gpu, int dst_gpu);
+  /// HCA DMA to/from host memory (the host leg of any RDMA).
+  sim::Path hca_host(int node_id, int hca);
+  /// HCA DMA to/from GPU memory over PCIe P2P — the GPUDirect RDMA leg.
+  /// Bandwidth depends on direction and on HCA/GPU socket locality
+  /// (Table III).
+  sim::Path gdr_leg(int node_id, int hca, int gpu, P2pDir dir);
+  /// The network between two HCAs. Same-node = adapter loopback (no wire).
+  sim::Path wire(int src_node, int src_hca, int dst_node, int dst_hca);
+
+ private:
+  ClusterConfig cfg_;
+  std::vector<std::unique_ptr<NodeModel>> nodes_;
+};
+
+}  // namespace gdrshmem::hw

@@ -1,0 +1,206 @@
+#include "ib/verbs.hpp"
+
+#include <cstring>
+
+namespace gdrshmem::ib {
+
+using cudart::MemSpace;
+using sim::Completion;
+using sim::CompletionPtr;
+using sim::Duration;
+using sim::Path;
+using sim::Time;
+
+// ---------------------------------------------------------------------------
+// RegistrationCache
+
+bool RegistrationCache::covered(int pe, const void* addr, std::size_t len) const {
+  auto pit = ranges_.find(pe);
+  if (pit == ranges_.end()) return false;
+  auto key = reinterpret_cast<std::uintptr_t>(addr);
+  auto it = pit->second.upper_bound(key);
+  if (it == pit->second.begin()) return false;
+  --it;
+  return key >= it->first && key + len <= it->first + it->second;
+}
+
+void RegistrationCache::register_at_init(int pe, const void* addr, std::size_t len) {
+  ranges_[pe][reinterpret_cast<std::uintptr_t>(addr)] = len;
+}
+
+void RegistrationCache::get_or_register(sim::Process& proc, int pe,
+                                        const void* addr, std::size_t len) {
+  if (covered(pe, addr, len)) {
+    ++hits_;
+    return;
+  }
+  ++misses_;
+  double mb = static_cast<double>(len) / 1e6;
+  proc.delay(Duration::us(params_.mr_register_base_us +
+                          params_.mr_register_per_mb_us * mb));
+  register_at_init(pe, addr, len);
+}
+
+// ---------------------------------------------------------------------------
+// Verbs
+
+Verbs::Verbs(sim::Engine& eng, hw::Cluster& cluster, cudart::CudaRuntime& cuda)
+    : eng_(eng), cluster_(cluster), cuda_(cuda),
+      reg_cache_(eng, cluster.params()) {}
+
+Path Verbs::local_leg(int pe, const void* buf, hw::P2pDir dir) {
+  hw::PePlacement pl = cluster_.placement(pe);
+  cudart::PtrAttr a = cuda_.attributes(buf);
+  if (a.space == MemSpace::kDevice) {
+    if (a.node != pl.node) {
+      throw IbError("buffer is device memory on a different node than its PE");
+    }
+    return cluster_.gdr_leg(pl.node, pl.hca, a.device, dir);
+  }
+  return cluster_.hca_host(pl.node, pl.hca);
+}
+
+void Verbs::pre_post(sim::Process& proc, int dst_pe, const void* raddr,
+                     std::size_t n) {
+  if (!reg_cache_.covered(dst_pe, raddr, n)) {
+    throw IbError("remote access fault: target range not registered (rkey)");
+  }
+  ++ops_posted_;
+  proc.delay(Duration::us(cluster_.params().ib_post_overhead_us));
+}
+
+Duration Verbs::ack_latency(int src_pe, int dst_pe) const {
+  const auto& p = cluster_.params();
+  if (cluster_.same_node(src_pe, dst_pe)) {
+    // Loopback: the ACK never leaves the adapter.
+    return Duration::us(p.hca_processing_us);
+  }
+  return Duration::us(2 * p.wire_latency_us + p.switch_latency_us +
+                      p.hca_processing_us);
+}
+
+CompletionPtr Verbs::rdma_write(sim::Process& proc, int src_pe, const void* lbuf,
+                                int dst_pe, void* rbuf, std::size_t n) {
+  pre_post(proc, dst_pe, rbuf, n);
+  reg_cache_.get_or_register(proc, src_pe, lbuf, n);
+  hw::PePlacement src = cluster_.placement(src_pe);
+  hw::PePlacement dst = cluster_.placement(dst_pe);
+  // Source HCA *reads* the local buffer, target side *writes* the remote one.
+  Path path = sim::combine({local_leg(src_pe, lbuf, hw::P2pDir::kRead),
+                            cluster_.wire(src.node, src.hca, dst.node, dst.hca),
+                            local_leg(dst_pe, rbuf, hw::P2pDir::kWrite)});
+  Time data_at_target = path.schedule(eng_.now(), n);
+  auto comp = std::make_shared<Completion>();
+  eng_.schedule_at(data_at_target, [this, dst_pe, lbuf, rbuf, n] {
+    std::memcpy(rbuf, lbuf, n);
+    delivered(dst_pe);
+  });
+  eng_.schedule_at(data_at_target + ack_latency(src_pe, dst_pe), [this, comp, src_pe] {
+    comp->fire();
+    delivered(src_pe);  // CQ entry lands at the source
+  });
+  return comp;
+}
+
+CompletionPtr Verbs::rdma_read(sim::Process& proc, int src_pe, void* lbuf,
+                               int dst_pe, const void* rbuf, std::size_t n) {
+  pre_post(proc, dst_pe, rbuf, n);
+  reg_cache_.get_or_register(proc, src_pe, lbuf, n);
+  hw::PePlacement src = cluster_.placement(src_pe);
+  hw::PePlacement dst = cluster_.placement(dst_pe);
+  // Request travels to the target, then data streams back: target side reads
+  // its memory (GDR read if on GPU), initiator side writes into lbuf.
+  Path request = cluster_.wire(src.node, src.hca, dst.node, dst.hca);
+  Path back = sim::combine({local_leg(dst_pe, rbuf, hw::P2pDir::kRead),
+                            cluster_.wire(dst.node, dst.hca, src.node, src.hca),
+                            local_leg(src_pe, lbuf, hw::P2pDir::kWrite)});
+  Time request_at_target = request.schedule(eng_.now(), 0);
+  Time data_local = back.schedule(request_at_target, n);
+  auto comp = std::make_shared<Completion>();
+  eng_.schedule_at(data_local, [this, comp, src_pe, lbuf, rbuf, n] {
+    std::memcpy(lbuf, rbuf, n);
+    delivered(src_pe);
+    comp->fire();
+  });
+  return comp;
+}
+
+CompletionPtr Verbs::post_send(sim::Process& proc, int src_pe, int dst_pe,
+                               std::size_t n, std::function<void()> deliver) {
+  ++ops_posted_;
+  proc.delay(Duration::us(cluster_.params().ib_post_overhead_us));
+  hw::PePlacement src = cluster_.placement(src_pe);
+  hw::PePlacement dst = cluster_.placement(dst_pe);
+  // Control messages live in host memory on both sides.
+  Path path = sim::combine({cluster_.hca_host(src.node, src.hca),
+                            cluster_.wire(src.node, src.hca, dst.node, dst.hca),
+                            cluster_.hca_host(dst.node, dst.hca)});
+  Time at_target = path.schedule(eng_.now(), n);
+  auto comp = std::make_shared<Completion>();
+  eng_.schedule_at(at_target, [deliver = std::move(deliver)] { deliver(); });
+  eng_.schedule_at(at_target + ack_latency(src_pe, dst_pe), [this, comp, src_pe] {
+    comp->fire();
+    delivered(src_pe);
+  });
+  return comp;
+}
+
+CompletionPtr Verbs::atomic_fadd64(sim::Process& proc, int src_pe, int dst_pe,
+                                   std::uint64_t* raddr, std::uint64_t add,
+                                   std::uint64_t* result) {
+  pre_post(proc, dst_pe, raddr, sizeof(std::uint64_t));
+  hw::PePlacement src = cluster_.placement(src_pe);
+  hw::PePlacement dst = cluster_.placement(dst_pe);
+  const auto& p = cluster_.params();
+  // Request to the target HCA, RMW over PCIe (read + write the word), then
+  // the old value rides the ACK back.
+  Path there = cluster_.wire(src.node, src.hca, dst.node, dst.hca);
+  Time at_hca = there.schedule(eng_.now(), sizeof(std::uint64_t));
+  Path rd = local_leg(dst_pe, raddr, hw::P2pDir::kRead);
+  Path wr = local_leg(dst_pe, raddr, hw::P2pDir::kWrite);
+  Time done_rmw = at_hca + Duration::us(p.ib_atomic_exec_us) +
+                  rd.cost(sizeof(std::uint64_t)) + wr.cost(sizeof(std::uint64_t));
+  Path backwire = cluster_.wire(dst.node, dst.hca, src.node, src.hca);
+  Time reply_local = backwire.schedule(done_rmw, sizeof(std::uint64_t));
+  auto comp = std::make_shared<Completion>();
+  eng_.schedule_at(done_rmw, [this, dst_pe, raddr, add, result] {
+    *result = *raddr;
+    *raddr += add;
+    delivered(dst_pe);
+  });
+  eng_.schedule_at(reply_local, [this, comp, src_pe] {
+    comp->fire();
+    delivered(src_pe);
+  });
+  return comp;
+}
+
+CompletionPtr Verbs::atomic_cswap64(sim::Process& proc, int src_pe, int dst_pe,
+                                    std::uint64_t* raddr, std::uint64_t compare,
+                                    std::uint64_t swap, std::uint64_t* result) {
+  pre_post(proc, dst_pe, raddr, sizeof(std::uint64_t));
+  hw::PePlacement src = cluster_.placement(src_pe);
+  hw::PePlacement dst = cluster_.placement(dst_pe);
+  const auto& p = cluster_.params();
+  Path there = cluster_.wire(src.node, src.hca, dst.node, dst.hca);
+  Time at_hca = there.schedule(eng_.now(), sizeof(std::uint64_t));
+  Path rd = local_leg(dst_pe, raddr, hw::P2pDir::kRead);
+  Path wr = local_leg(dst_pe, raddr, hw::P2pDir::kWrite);
+  Time done_rmw = at_hca + Duration::us(p.ib_atomic_exec_us) +
+                  rd.cost(sizeof(std::uint64_t)) + wr.cost(sizeof(std::uint64_t));
+  Path backwire = cluster_.wire(dst.node, dst.hca, src.node, src.hca);
+  Time reply_local = backwire.schedule(done_rmw, sizeof(std::uint64_t));
+  auto comp = std::make_shared<Completion>();
+  eng_.schedule_at(done_rmw, [this, dst_pe, raddr, compare, swap, result] {
+    *result = *raddr;
+    if (*raddr == compare) *raddr = swap;
+    delivered(dst_pe);
+  });
+  eng_.schedule_at(reply_local, [this, comp, src_pe] {
+    comp->fire();
+    delivered(src_pe);
+  });
+  return comp;
+}
+
+}  // namespace gdrshmem::ib

@@ -1,0 +1,127 @@
+// InfiniBand verbs model: memory registration (with a registration cache, as
+// in MVAPICH2-X), one-sided RDMA read/write — including the GPUDirect RDMA
+// legs when a buffer lives in GPU memory — send-style control messages, and
+// 64-bit hardware atomics (fetch-and-add, compare-and-swap).
+//
+// Functional semantics: bytes land in the destination buffer exactly at the
+// simulated completion instant; a local completion (CQ entry) fires after
+// the hardware ACK returns. Remote buffers must be registered by their
+// owning PE or the operation faults, mirroring rkey protection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+#include "cudart/cudart.hpp"
+#include "hw/topology.hpp"
+#include "sim/future.hpp"
+
+namespace gdrshmem::ib {
+
+class IbError : public std::runtime_error {
+ public:
+  explicit IbError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Tracks, per PE, which address ranges are registered with the HCA, and
+/// makes re-registration free (MVAPICH2-X registration cache).
+class RegistrationCache {
+ public:
+  RegistrationCache(sim::Engine& eng, const hw::SystemParams& params)
+      : eng_(eng), params_(params) {}
+
+  /// Ensure [addr, addr+len) is registered for `pe`, charging the calling
+  /// process the registration cost on a miss.
+  void get_or_register(sim::Process& proc, int pe, const void* addr,
+                       std::size_t len);
+  /// Register without a calling process (used at init before PEs run);
+  /// charges nothing — init-time registration cost is charged by the caller.
+  void register_at_init(int pe, const void* addr, std::size_t len);
+  bool covered(int pe, const void* addr, std::size_t len) const;
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  sim::Engine& eng_;
+  const hw::SystemParams& params_;
+  // pe -> (range start -> length); ranges are non-overlapping.
+  std::map<int, std::map<std::uintptr_t, std::size_t>> ranges_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// The verbs provider shared by all PEs of a simulated job.
+class Verbs {
+ public:
+  Verbs(sim::Engine& eng, hw::Cluster& cluster, cudart::CudaRuntime& cuda);
+  Verbs(const Verbs&) = delete;
+  Verbs& operator=(const Verbs&) = delete;
+
+  RegistrationCache& reg_cache() { return reg_cache_; }
+  hw::Cluster& cluster() { return cluster_; }
+
+  /// Invoked (in event context) with the destination endpoint id whenever
+  /// data or an atomic lands in that endpoint's memory. The runtime uses it
+  /// to wake PEs blocked in shmem_wait_until / progress loops.
+  void set_delivery_hook(std::function<void(int endpoint)> hook) {
+    delivery_hook_ = std::move(hook);
+  }
+
+  /// One-sided RDMA write of `n` bytes from `src_pe`-local `lbuf` into
+  /// `dst_pe`'s `rbuf`. The caller is charged the post overhead; the
+  /// returned completion fires when the hardware ACK lands (the source
+  /// buffer is then reusable and the data is visible at the target).
+  /// Works for any host/GPU buffer combination; GPU legs go through GDR.
+  sim::CompletionPtr rdma_write(sim::Process& proc, int src_pe,
+                                const void* lbuf, int dst_pe, void* rbuf,
+                                std::size_t n);
+
+  /// One-sided RDMA read of `n` bytes from `dst_pe`'s `rbuf` into
+  /// `src_pe`-local `lbuf`. Completion fires when the data is in `lbuf`.
+  sim::CompletionPtr rdma_read(sim::Process& proc, int src_pe, void* lbuf,
+                               int dst_pe, const void* rbuf, std::size_t n);
+
+  /// Two-sided send of a control message: `deliver` runs at the target at
+  /// arrival time (the caller wires it to a mailbox). `n` models payload
+  /// size (headers are free).
+  sim::CompletionPtr post_send(sim::Process& proc, int src_pe, int dst_pe,
+                               std::size_t n, std::function<void()> deliver);
+
+  /// IB hardware fetch-and-add on a remote 64-bit word. `*result` receives
+  /// the prior value when the completion fires. GDR path if the word is in
+  /// GPU memory.
+  sim::CompletionPtr atomic_fadd64(sim::Process& proc, int src_pe, int dst_pe,
+                                   std::uint64_t* raddr, std::uint64_t add,
+                                   std::uint64_t* result);
+
+  /// IB hardware compare-and-swap on a remote 64-bit word.
+  sim::CompletionPtr atomic_cswap64(sim::Process& proc, int src_pe, int dst_pe,
+                                    std::uint64_t* raddr, std::uint64_t compare,
+                                    std::uint64_t swap, std::uint64_t* result);
+
+  // Diagnostics.
+  std::uint64_t ops_posted() const { return ops_posted_; }
+
+ private:
+  /// The HCA-side DMA leg for a buffer: host DMA or a GDR P2P access.
+  sim::Path local_leg(int pe, const void* buf, hw::P2pDir dir);
+  /// Charge post overhead + validate remote registration.
+  void pre_post(sim::Process& proc, int dst_pe, const void* raddr, std::size_t n);
+  sim::Duration ack_latency(int src_pe, int dst_pe) const;
+
+  void delivered(int endpoint) {
+    if (delivery_hook_) delivery_hook_(endpoint);
+  }
+
+  sim::Engine& eng_;
+  hw::Cluster& cluster_;
+  cudart::CudaRuntime& cuda_;
+  RegistrationCache reg_cache_;
+  std::function<void(int)> delivery_hook_;
+  std::uint64_t ops_posted_ = 0;
+};
+
+}  // namespace gdrshmem::ib

@@ -1,0 +1,185 @@
+#include "omb/omb.hpp"
+
+#include <algorithm>
+
+#include "core/ctx.hpp"
+
+namespace gdrshmem::omb {
+
+using core::Ctx;
+using core::Domain;
+using core::Runtime;
+using core::RuntimeOptions;
+
+namespace {
+
+hw::ClusterConfig two_party_cluster(bool same_socket) {
+  hw::ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.pes_per_node = 2;
+  cfg.hca_gpu_same_socket = same_socket;
+  return cfg;
+}
+
+RuntimeOptions options_for(core::TransportKind kind, const core::Tuning& tuning,
+                           std::size_t max_bytes) {
+  RuntimeOptions opts;
+  opts.transport = kind;
+  opts.tuning = tuning;
+  opts.host_heap_bytes = std::max<std::size_t>(2 * max_bytes + (1u << 20), 16u << 20);
+  opts.gpu_heap_bytes = opts.host_heap_bytes;
+  return opts;
+}
+
+}  // namespace
+
+std::string config_label(const LatencyConfig& cfg) {
+  std::string s = cfg.intra_node ? "intra " : "inter ";
+  s += to_string(cfg.local);
+  s += "-";
+  s += cfg.remote == Domain::kGpu ? "D" : "H";
+  s += cfg.is_put ? " put" : " get";
+  return s;
+}
+
+std::vector<std::size_t> small_message_sizes() {
+  return {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192};
+}
+
+std::vector<std::size_t> large_message_sizes() {
+  return {16u << 10, 32u << 10, 64u << 10, 128u << 10, 256u << 10,
+          512u << 10, 1u << 20, 2u << 20, 4u << 20};
+}
+
+std::vector<LatencyPoint> run_latency(const LatencyConfig& cfg) {
+  if (cfg.sizes.empty()) throw core::ShmemError("latency sweep needs sizes");
+  std::size_t max_bytes = *std::max_element(cfg.sizes.begin(), cfg.sizes.end());
+  Runtime rt(two_party_cluster(cfg.hca_gpu_same_socket),
+             options_for(cfg.transport, cfg.tuning, max_bytes));
+  const int target = cfg.intra_node ? 1 : 2;
+  std::vector<LatencyPoint> out;
+  rt.run([&](Ctx& ctx) {
+    auto* sym = static_cast<std::byte*>(ctx.shmalloc(max_bytes, cfg.remote));
+    std::vector<std::byte> host_local(max_bytes);
+    std::byte* local = host_local.data();
+    if (cfg.local == Loc::kDevice) {
+      local = static_cast<std::byte*>(ctx.cuda_malloc(max_bytes));
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      for (std::size_t bytes : cfg.sizes) {
+        for (int i = 0; i < cfg.warmup; ++i) {
+          if (cfg.is_put) {
+            ctx.putmem(sym, local, bytes, target);
+            ctx.quiet();
+          } else {
+            ctx.getmem(local, sym, bytes, target);
+          }
+        }
+        sim::Time t0 = ctx.now();
+        for (int i = 0; i < cfg.iters; ++i) {
+          if (cfg.is_put) {
+            ctx.putmem(sym, local, bytes, target);
+            ctx.quiet();
+          } else {
+            ctx.getmem(local, sym, bytes, target);
+          }
+        }
+        double us = (ctx.now() - t0).to_us() / cfg.iters;
+        out.push_back(LatencyPoint{bytes, us});
+      }
+    }
+    ctx.barrier_all();
+  });
+  return out;
+}
+
+std::vector<OverlapPoint> run_overlap(const OverlapConfig& cfg) {
+  std::vector<OverlapPoint> out;
+  double base_us = 0;
+  bool first = true;
+  std::vector<double> probes = cfg.target_compute_us;
+  probes.insert(probes.begin(), 0.0);  // baseline: idle (but progressing) target
+  for (double compute_us : probes) {
+    Runtime rt(two_party_cluster(true),
+               options_for(cfg.transport, core::Tuning{}, cfg.bytes));
+    double comm_us = 0;
+    rt.run([&](Ctx& ctx) {
+      auto* sym = static_cast<std::byte*>(ctx.shmalloc(cfg.bytes, Domain::kGpu));
+      void* local = ctx.cuda_malloc(cfg.bytes);
+      // Warmup with a responsive target.
+      if (ctx.my_pe() == 0) {
+        ctx.putmem(sym, local, cfg.bytes, 2);
+        ctx.quiet();
+      }
+      ctx.barrier_all();
+      if (ctx.my_pe() == 0) {
+        sim::Time t0 = ctx.now();
+        for (int i = 0; i < cfg.iters; ++i) {
+          ctx.putmem(sym, local, cfg.bytes, 2);
+          ctx.quiet();
+        }
+        comm_us = (ctx.now() - t0).to_us() / cfg.iters;
+      } else if (ctx.my_pe() == 2) {
+        // Busy compute per iteration, never entering the runtime.
+        for (int i = 0; i < cfg.iters; ++i) {
+          ctx.compute(sim::Duration::us(compute_us));
+        }
+      }
+      ctx.barrier_all();
+    });
+    if (first) {
+      base_us = comm_us;
+      first = false;
+      continue;
+    }
+    OverlapPoint p;
+    p.target_compute_us = compute_us;
+    p.comm_time_us = comm_us;
+    double extra = std::max(0.0, comm_us - base_us);
+    p.overlap_pct = comm_us > 0 ? 100.0 * (1.0 - extra / comm_us) : 100.0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+BandwidthResult run_bandwidth(const BandwidthConfig& cfg) {
+  Runtime rt(two_party_cluster(true),
+             options_for(cfg.transport, core::Tuning{},
+                         cfg.bytes * static_cast<std::size_t>(cfg.window)));
+  const int target = cfg.intra_node ? 1 : 2;
+  BandwidthResult res;
+  res.bytes = cfg.bytes;
+  rt.run([&](Ctx& ctx) {
+    std::size_t region = cfg.bytes * static_cast<std::size_t>(cfg.window);
+    auto* sym = static_cast<std::byte*>(ctx.shmalloc(region, cfg.remote));
+    std::vector<std::byte> host_local(region);
+    std::byte* local = host_local.data();
+    if (cfg.local == Loc::kDevice) {
+      local = static_cast<std::byte*>(ctx.cuda_malloc(region));
+    }
+    ctx.barrier_all();
+    if (ctx.my_pe() == 0) {
+      // Warmup window.
+      for (int w = 0; w < cfg.window; ++w) {
+        ctx.putmem_nbi(sym + w * cfg.bytes, local + w * cfg.bytes, cfg.bytes, target);
+      }
+      ctx.quiet();
+      sim::Time t0 = ctx.now();
+      for (int i = 0; i < cfg.iters; ++i) {
+        for (int w = 0; w < cfg.window; ++w) {
+          ctx.putmem_nbi(sym + w * cfg.bytes, local + w * cfg.bytes, cfg.bytes,
+                         target);
+        }
+        ctx.quiet();
+      }
+      double us = (ctx.now() - t0).to_us();
+      double total_bytes = static_cast<double>(cfg.bytes) * cfg.window * cfg.iters;
+      res.mbps = total_bytes / us;  // bytes/us == MB/s
+    }
+    ctx.barrier_all();
+  });
+  return res;
+}
+
+}  // namespace gdrshmem::omb

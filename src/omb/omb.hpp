@@ -1,0 +1,90 @@
+// OMB-GPU-style microbenchmark harness (the paper evaluates with [25]):
+// point-to-point put/get latency sweeps for every {H,D} x {H,D} x
+// {intra,inter} configuration, bandwidth, and the Fig 10 overlap benchmark.
+//
+// Measurement convention: "latency" is the source-side time of one
+// putmem+quiet (data guaranteed delivered) or one blocking getmem, the
+// median over `iters` iterations after `warmup` untimed ones.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace gdrshmem::omb {
+
+/// Where the *local* (non-symmetric) buffer lives.
+enum class Loc { kHost, kDevice };
+
+inline const char* to_string(Loc l) { return l == Loc::kHost ? "H" : "D"; }
+
+struct LatencyConfig {
+  core::TransportKind transport = core::TransportKind::kEnhancedGdr;
+  bool intra_node = false;
+  Loc local = Loc::kDevice;
+  core::Domain remote = core::Domain::kGpu;
+  bool is_put = true;
+  bool hca_gpu_same_socket = true;
+  std::vector<std::size_t> sizes;
+  int warmup = 10;
+  int iters = 100;
+  core::Tuning tuning;  // threshold knobs (ablations)
+};
+
+struct LatencyPoint {
+  std::size_t bytes = 0;
+  double latency_us = 0;
+};
+
+/// Label like "inter D-D put": the paper's configuration naming, where
+/// X-Y is (local buffer location)-(remote symmetric domain).
+std::string config_label(const LatencyConfig& cfg);
+
+/// Runs a fresh 2-node (or 1-node for intra) job and sweeps the sizes.
+std::vector<LatencyPoint> run_latency(const LatencyConfig& cfg);
+
+/// Small/large default sweeps matching the paper's figures.
+std::vector<std::size_t> small_message_sizes();   // 1 B .. 8 KB
+std::vector<std::size_t> large_message_sizes();   // 16 KB .. 4 MB
+
+// ---------------------------------------------------------------------------
+
+struct OverlapConfig {
+  core::TransportKind transport = core::TransportKind::kEnhancedGdr;
+  std::size_t bytes = 8 * 1024;
+  /// Target-side busy-compute durations to probe (us).
+  std::vector<double> target_compute_us;
+  int iters = 20;
+};
+
+struct OverlapPoint {
+  double target_compute_us = 0;
+  double comm_time_us = 0;   // source-observed put+quiet time
+  double overlap_pct = 0;    // 100 * (1 - (comm - base) / comm) clamped
+};
+
+/// Fig 10: source put+quiet latency while the target busy-computes.
+std::vector<OverlapPoint> run_overlap(const OverlapConfig& cfg);
+
+// ---------------------------------------------------------------------------
+
+struct BandwidthConfig {
+  core::TransportKind transport = core::TransportKind::kEnhancedGdr;
+  bool intra_node = false;
+  Loc local = Loc::kDevice;
+  core::Domain remote = core::Domain::kGpu;
+  std::size_t bytes = 1u << 20;
+  int window = 16;  // nbi puts per quiet
+  int iters = 20;
+};
+
+struct BandwidthResult {
+  std::size_t bytes = 0;
+  double mbps = 0;
+};
+
+BandwidthResult run_bandwidth(const BandwidthConfig& cfg);
+
+}  // namespace gdrshmem::omb

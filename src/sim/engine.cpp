@@ -1,0 +1,185 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace gdrshmem::sim {
+
+// ---------------------------------------------------------------------------
+// Notification
+
+void Notification::notify() {
+  if (waiters_.empty()) return;
+  std::vector<Process*> woken;
+  woken.swap(waiters_);
+  for (Process* p : woken) {
+    Engine& eng = p->engine();
+    eng.schedule_at(eng.now(), [&eng, p] { eng.run_process(*p); });
+    p->state_ = Process::State::kReady;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Process
+
+Process::Process(Engine& eng, std::string name, bool daemon)
+    : engine_(&eng), name_(std::move(name)), daemon_(daemon) {}
+
+Process::~Process() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Process::check_killed() const {
+  if (kill_requested_) throw ProcessKilled{};
+}
+
+void Process::yield_to_engine_locked(std::unique_lock<std::mutex>& lk) {
+  Engine& eng = *engine_;
+  eng.active_ = nullptr;
+  eng.engine_cv_.notify_all();
+  cv_.wait(lk, [&] { return eng.active_ == this; });
+  check_killed();
+}
+
+void Process::delay(Duration d) {
+  check_killed();
+  if (d < Duration::zero()) throw std::invalid_argument("negative delay");
+  Engine& eng = *engine_;
+  eng.schedule_at(eng.now() + d, [&eng, this] { eng.run_process(*this); });
+  std::unique_lock lk(eng.mutex_);
+  state_ = State::kReady;
+  yield_to_engine_locked(lk);
+  state_ = State::kRunning;
+}
+
+void Process::await(Notification& n) {
+  check_killed();
+  Engine& eng = *engine_;
+  n.waiters_.push_back(this);
+  std::unique_lock lk(eng.mutex_);
+  state_ = State::kBlocked;
+  yield_to_engine_locked(lk);
+  state_ = State::kRunning;
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+
+Engine::~Engine() {
+  shutdown_daemons();
+  // Any remaining non-daemon processes that never finished (e.g. after a
+  // DeadlockError was thrown to the caller) must also be released so their
+  // threads can be joined.
+  for (auto& p : processes_) {
+    if (p->state_ != Process::State::kDone) kill_process(*p);
+  }
+}
+
+void Engine::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("schedule_at in the past");
+  events_.push(Event{at, next_seq_++, std::move(fn)});
+}
+
+Process& Engine::spawn(std::string name, std::function<void(Process&)> body,
+                       bool daemon) {
+  // Process is neither copyable nor movable (it owns a condition_variable),
+  // so construct it in place; Engine is a friend of the private constructor.
+  processes_.push_back(
+      std::unique_ptr<Process>(new Process(*this, std::move(name), daemon)));
+  Process& p = *processes_.back();
+
+  p.thread_ = std::thread([this, &p, body = std::move(body)] {
+    {
+      // Wait for the engine to hand us the baton for the first time.
+      std::unique_lock lk(mutex_);
+      p.cv_.wait(lk, [&] { return active_ == &p; });
+    }
+    try {
+      p.check_killed();
+      p.state_ = Process::State::kRunning;
+      body(p);
+    } catch (const ProcessKilled&) {
+      // graceful daemon shutdown
+    } catch (...) {
+      // Surface the first process failure from Engine::run() instead of
+      // terminating the program when it escapes the thread.
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    std::unique_lock lk(mutex_);
+    p.state_ = Process::State::kDone;
+    active_ = nullptr;
+    engine_cv_.notify_all();
+  });
+
+  schedule_at(now_, [this, &p] { run_process(p); });
+  p.state_ = Process::State::kReady;
+  return p;
+}
+
+void Engine::run_process(Process& p) {
+  if (p.state_ == Process::State::kDone) return;
+  std::unique_lock lk(mutex_);
+  active_ = &p;
+  p.cv_.notify_all();
+  engine_cv_.wait(lk, [&] { return active_ == nullptr; });
+}
+
+void Engine::kill_process(Process& p) {
+  if (p.state_ == Process::State::kDone) return;
+  p.kill_requested_ = true;
+  std::unique_lock lk(mutex_);
+  active_ = &p;
+  p.cv_.notify_all();
+  engine_cv_.wait(lk, [&] { return active_ == nullptr; });
+  assert(p.state_ == Process::State::kDone);
+}
+
+void Engine::run() {
+  if (running_) throw std::logic_error("Engine::run is not reentrant");
+  running_ = true;
+  while (!events_.empty()) {
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.at;
+    ++events_executed_;
+    ev.fn();
+  }
+  running_ = false;
+
+  if (first_error_) {
+    // A process failed; release everything still blocked, then rethrow.
+    shutdown_daemons();
+    for (auto& p : processes_) {
+      if (p->state_ != Process::State::kDone) kill_process(*p);
+    }
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+
+  // Detect stuck non-daemon processes: nothing left to run but they are not
+  // done — the simulated program deadlocked.
+  std::vector<std::string> stuck;
+  for (auto& p : processes_) {
+    if (!p->daemon_ && p->state_ != Process::State::kDone) stuck.push_back(p->name());
+  }
+  shutdown_daemons();
+  if (!stuck.empty()) {
+    std::ostringstream os;
+    os << "simulation deadlock: " << stuck.size() << " process(es) blocked forever:";
+    for (const auto& n : stuck) os << ' ' << n;
+    // Release the stuck processes so their threads can exit before throwing.
+    for (auto& p : processes_) {
+      if (p->state_ != Process::State::kDone) kill_process(*p);
+    }
+    throw DeadlockError(os.str());
+  }
+}
+
+void Engine::shutdown_daemons() {
+  for (auto& p : processes_) {
+    if (p->daemon_) kill_process(*p);
+  }
+}
+
+}  // namespace gdrshmem::sim

@@ -1,0 +1,169 @@
+// Deterministic virtual-time discrete-event engine with cooperative
+// processes.
+//
+// Each simulated processing element (PE), proxy daemon, or service runs as a
+// `Process`: a dedicated OS thread that is scheduled cooperatively — exactly
+// one thread (either the engine or one process) executes at any instant, and
+// control transfers only at explicit wait points. This gives:
+//   * determinism: event order is (time, sequence-number) and handoffs are
+//     strictly serialized, so every run is bit-identical;
+//   * simplicity: functional state (heaps, queues) needs no locking.
+//
+// Timing is virtual: `Process::delay()` advances the simulated clock without
+// consuming wall time beyond the handoff cost.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gdrshmem::sim {
+
+class Engine;
+class Process;
+
+/// Thrown inside a daemon process when the engine shuts it down; the process
+/// body should let it propagate.
+struct ProcessKilled {};
+
+/// Thrown by Engine::run() when no event is pending but non-daemon processes
+/// are still blocked.
+class DeadlockError : public std::runtime_error {
+ public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A broadcast wakeup point. Processes block on it with Process::await();
+/// notify() wakes every current waiter at the present virtual time.
+/// Level-triggered conditions are built on top by re-checking a predicate
+/// after each wakeup (see Process::await_until).
+class Notification {
+ public:
+  /// Wake all processes currently waiting. Safe to call from event callbacks
+  /// and from process context.
+  void notify();
+
+ private:
+  friend class Process;
+  std::vector<Process*> waiters_;
+};
+
+/// A cooperative simulated thread of control.
+class Process {
+ public:
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process();
+
+  const std::string& name() const { return name_; }
+  Engine& engine() const { return *engine_; }
+
+  /// Advance virtual time by `d` (callable only from this process's thread).
+  void delay(Duration d);
+
+  /// Block until `n` is notified.
+  void await(Notification& n);
+
+  /// Block on `n` until `pred()` holds; re-checks after every notification.
+  /// The predicate is evaluated once before waiting.
+  template <typename Pred>
+  void await_until(Notification& n, Pred&& pred) {
+    while (!pred()) await(n);
+  }
+
+ private:
+  friend class Engine;
+  friend class Notification;
+  Process(Engine& eng, std::string name, bool daemon);
+
+  void yield_to_engine_locked(std::unique_lock<std::mutex>& lk);
+  void check_killed() const;
+
+  Engine* engine_;
+  std::string name_;
+  bool daemon_;
+  bool kill_requested_ = false;
+  enum class State { kCreated, kReady, kRunning, kBlocked, kDone } state_ = State::kCreated;
+  std::thread thread_;
+  std::condition_variable cv_;
+};
+
+/// The event loop. Owns all processes and the pending-event queue.
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+  ~Engine();
+
+  Time now() const { return now_; }
+
+  /// Schedule `fn` to run in engine context at absolute time `at`
+  /// (must be >= now()). Events at equal times run in scheduling order.
+  void schedule_at(Time at, std::function<void()> fn);
+  void schedule_after(Duration d, std::function<void()> fn) {
+    schedule_at(now_ + d, std::move(fn));
+  }
+
+  /// Create a process whose body starts running at virtual time now().
+  /// Daemon processes do not keep the simulation alive: once the event queue
+  /// drains, the run ends and daemons are killed.
+  Process& spawn(std::string name, std::function<void(Process&)> body,
+                 bool daemon = false);
+
+  /// Run until the event queue is empty. Throws DeadlockError if non-daemon
+  /// processes remain blocked with nothing pending; rethrows the first
+  /// exception a process body raised, after releasing everything blocked.
+  void run();
+
+  /// Kill and join all daemon processes (also done by run() on completion).
+  void shutdown_daemons();
+
+  /// Number of events executed so far (diagnostic).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+ private:
+  friend class Process;
+  friend class Notification;
+
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  // Runs `p` (engine context) until it yields back; engine thread blocks
+  // meanwhile. All handoffs serialize on mutex_.
+  void run_process(Process& p);
+  void kill_process(Process& p);
+
+  Time now_ = Time::zero();
+  std::exception_ptr first_error_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<std::unique_ptr<Process>> processes_;
+
+  // Handoff machinery: `active_` designates who may run (nullptr = engine).
+  std::mutex mutex_;
+  std::condition_variable engine_cv_;
+  Process* active_ = nullptr;
+  bool running_ = false;
+};
+
+}  // namespace gdrshmem::sim

@@ -1,0 +1,41 @@
+// A one-shot completion flag processes can block on — the simulation analog
+// of a CQ entry / future.
+#pragma once
+
+#include <memory>
+
+#include "sim/engine.hpp"
+
+namespace gdrshmem::sim {
+
+class Completion {
+ public:
+  bool done() const { return fired_; }
+
+  /// Mark complete and wake waiters (call from engine/event context at the
+  /// completion instant).
+  void fire() {
+    fired_ = true;
+    done_.notify();
+  }
+
+  /// Block the calling process until fire().
+  void wait(Process& proc) {
+    proc.await_until(done_, [this] { return fired_; });
+  }
+
+ private:
+  bool fired_ = false;
+  Notification done_;
+};
+
+using CompletionPtr = std::shared_ptr<Completion>;
+
+/// Create a completion that fires at absolute time `at`.
+inline CompletionPtr fire_at(Engine& eng, Time at) {
+  auto c = std::make_shared<Completion>();
+  eng.schedule_at(at, [c] { c->fire(); });
+  return c;
+}
+
+}  // namespace gdrshmem::sim

@@ -1,0 +1,101 @@
+// Bandwidth-limited links and multi-link transfer paths.
+//
+// A Link is a FIFO serialization server: transfers occupy it for their
+// serialization time and queue behind each other. A Path is an end-to-end
+// route with a fixed one-way latency, an *effective* bandwidth (the min of
+// every segment the transfer crosses — e.g. a GDR write is capped by the
+// PCIe P2P write bandwidth even though the IB wire is faster), and the set
+// of shared links it occupies. Transfers are modeled cut-through: one
+// serialization at the effective bandwidth plus the path latency, which is
+// how pipelined PCIe/IB hardware behaves for a single message.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace gdrshmem::sim {
+
+class Link {
+ public:
+  /// `bandwidth_mbps` in MB/s (1 MB = 1e6 bytes), matching the units the
+  /// paper reports (e.g. FDR IB = 6,397 MB/s).
+  Link(std::string name, double bandwidth_mbps)
+      : name_(std::move(name)), bandwidth_mbps_(bandwidth_mbps) {}
+
+  const std::string& name() const { return name_; }
+  double bandwidth_mbps() const { return bandwidth_mbps_; }
+
+  /// Earliest instant a new transfer may start serializing.
+  Time next_free() const { return next_free_; }
+
+  /// Occupy the link from max(earliest, next_free()) for `busy`.
+  /// Returns the occupation start time.
+  Time reserve(Time earliest, Duration busy) {
+    Time start = max(earliest, next_free_);
+    next_free_ = start + busy;
+    return start;
+  }
+
+  /// Total bytes ever carried (utilization accounting).
+  std::uint64_t bytes_transferred() const { return bytes_transferred_; }
+  void account(std::size_t bytes) { bytes_transferred_ += bytes; }
+
+ private:
+  std::string name_;
+  double bandwidth_mbps_;
+  Time next_free_ = Time::zero();
+  std::uint64_t bytes_transferred_ = 0;
+};
+
+/// An end-to-end route for one hardware transfer.
+struct Path {
+  Duration latency = Duration::zero();
+  /// Effective end-to-end bandwidth in MB/s; <= 0 means "not bandwidth
+  /// limited" (pure latency, e.g. a doorbell write).
+  double bw_mbps = 0;
+  /// Shared resources this transfer occupies for its serialization time.
+  std::vector<Link*> links;
+
+  Duration serialization(std::size_t bytes) const {
+    if (bw_mbps <= 0) return Duration::zero();
+    return Duration::us(static_cast<double>(bytes) / bw_mbps);
+  }
+
+  /// Pure cost, ignoring contention.
+  Duration cost(std::size_t bytes) const { return latency + serialization(bytes); }
+
+  /// Reserve the shared links and return the completion time of a transfer
+  /// of `bytes` issued at `now`: queue behind busy links, then latency +
+  /// serialization.
+  Time schedule(Time now, std::size_t bytes) {
+    Duration ser = serialization(bytes);
+    Time start = now;
+    for (Link* l : links) start = max(start, l->next_free());
+    for (Link* l : links) {
+      l->reserve(start, ser);
+      l->account(bytes);
+    }
+    return start + latency + ser;
+  }
+};
+
+/// Concatenate path segments: latencies add, bandwidth is the minimum of the
+/// bandwidth-limited segments, link sets union.
+inline Path combine(std::initializer_list<Path> segments) {
+  Path out;
+  for (const Path& s : segments) {
+    out.latency += s.latency;
+    if (s.bw_mbps > 0 && (out.bw_mbps <= 0 || s.bw_mbps < out.bw_mbps)) {
+      out.bw_mbps = s.bw_mbps;
+    }
+    out.links.insert(out.links.end(), s.links.begin(), s.links.end());
+  }
+  return out;
+}
+
+}  // namespace gdrshmem::sim

@@ -1,0 +1,33 @@
+// Small deterministic PRNG (splitmix64) for workload generation.
+// The simulation itself never consumes randomness — determinism comes from
+// the engine — but synthetic workloads and property tests do.
+#pragma once
+
+#include <cstdint>
+
+namespace gdrshmem::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n).
+  std::uint64_t next_below(std::uint64_t n) { return n ? next_u64() % n : 0; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace gdrshmem::sim

@@ -1,0 +1,114 @@
+// GPULBM tests: mass conservation (the lattice invariant), correctness
+// across transports/decompositions, and the paper's Fig 12 shape.
+#include <gtest/gtest.h>
+
+#include "apps/lbm.hpp"
+
+namespace gdrshmem::apps {
+namespace {
+
+hw::ClusterConfig cluster_for(int pes, int ppn = 2) {
+  hw::ClusterConfig cfg;
+  cfg.num_nodes = (pes + ppn - 1) / ppn;
+  cfg.pes_per_node = ppn;
+  return cfg;
+}
+
+core::RuntimeOptions opts_for(core::TransportKind k,
+                              std::size_t gpu_bytes = 48u << 20) {
+  core::RuntimeOptions o;
+  o.transport = k;
+  o.gpu_heap_bytes = gpu_bytes;
+  return o;
+}
+
+TEST(Lbm, ConservesMassAcrossEvolution) {
+  LbmConfig cfg;
+  cfg.x = 16;
+  cfg.y = 16;
+  cfg.z = 16;
+  cfg.iterations = 15;
+  auto res = run_lbm(cluster_for(4), opts_for(core::TransportKind::kEnhancedGdr),
+                     cfg);
+  // Phase blob mixes +1/-1: magnitudes ~1e3; allow float rounding drift.
+  EXPECT_NEAR(res.phase_mass_final, res.phase_mass_initial,
+              1e-3 * std::abs(res.phase_mass_initial) + 1e-2);
+  EXPECT_NEAR(res.fluid_mass_final, res.fluid_mass_initial,
+              1e-4 * res.fluid_mass_initial);
+  EXPECT_GT(res.fluid_mass_initial, 0.0);
+  EXPECT_GT(res.evolution_ms, 0.0);
+}
+
+TEST(Lbm, HaloBytesMatchPaperFormula) {
+  // Per step: (1 + 1 + 6) planes of X*Y floats in each z direction.
+  LbmConfig cfg;
+  cfg.x = 32;
+  cfg.y = 16;
+  cfg.z = 8;
+  cfg.iterations = 1;
+  auto res = run_lbm(cluster_for(2, 1),
+                     opts_for(core::TransportKind::kEnhancedGdr), cfg);
+  EXPECT_EQ(res.halo_bytes_per_step, 2u * 8u * 32u * 16u * sizeof(float));
+}
+
+TEST(Lbm, ResultIndependentOfDecomposition) {
+  LbmConfig cfg;
+  cfg.x = 8;
+  cfg.y = 8;
+  cfg.z = 16;
+  cfg.iterations = 8;
+  auto res2 = run_lbm(cluster_for(2, 1),
+                      opts_for(core::TransportKind::kEnhancedGdr), cfg);
+  auto res4 = run_lbm(cluster_for(4),
+                      opts_for(core::TransportKind::kEnhancedGdr), cfg);
+  // Same global lattice, different Z decomposition: identical physics.
+  EXPECT_NEAR(res2.phase_mass_final, res4.phase_mass_final,
+              1e-3 * std::abs(res2.phase_mass_final) + 1e-2);
+  EXPECT_NEAR(res2.fluid_mass_final, res4.fluid_mass_final,
+              1e-4 * res2.fluid_mass_final);
+}
+
+TEST(Lbm, BaselineTransportSameResultSlowerClock) {
+  LbmConfig cfg;
+  cfg.x = 16;
+  cfg.y = 16;
+  cfg.z = 8;
+  cfg.iterations = 6;
+  auto enh = run_lbm(cluster_for(4), opts_for(core::TransportKind::kEnhancedGdr),
+                     cfg);
+  auto base = run_lbm(cluster_for(4),
+                      opts_for(core::TransportKind::kHostPipeline), cfg);
+  EXPECT_NEAR(enh.phase_mass_final, base.phase_mass_final,
+              1e-3 * std::abs(enh.phase_mass_final) + 1e-2);
+  EXPECT_LT(enh.evolution_ms, base.evolution_ms);
+}
+
+TEST(Lbm, RejectsIndivisibleZ) {
+  LbmConfig cfg;
+  cfg.z = 10;  // 10 % 4 != 0
+  EXPECT_THROW(
+      run_lbm(cluster_for(4), opts_for(core::TransportKind::kEnhancedGdr), cfg),
+      core::ShmemError);
+}
+
+TEST(Lbm, Fig12ShapeEvolutionImprovement) {
+  // Strong-scaling-like point: small per-PE volume makes communication
+  // dominate, where the paper reports 45-70% improvements.
+  LbmConfig cfg;
+  cfg.x = 64;
+  cfg.y = 64;
+  cfg.z = 16;  // 2 planes per PE: communication dominates
+  cfg.iterations = 10;
+  cfg.functional = false;
+  cfg.per_cell_ns = 1.0;
+  auto enh = run_lbm(cluster_for(8), opts_for(core::TransportKind::kEnhancedGdr),
+                     cfg);
+  auto base = run_lbm(cluster_for(8),
+                      opts_for(core::TransportKind::kHostPipeline), cfg);
+  double improvement = 1.0 - enh.evolution_ms / base.evolution_ms;
+  EXPECT_GT(improvement, 0.15);
+  EXPECT_LT(improvement, 0.85);
+}
+
+}  // namespace
+}  // namespace gdrshmem::apps

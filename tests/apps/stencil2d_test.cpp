@@ -1,0 +1,120 @@
+// Stencil2D application tests: functional correctness against the serial
+// reference, invariance across transports and process grids, and the
+// paper's Fig 11 shape (Enhanced-GDR faster at scale).
+#include <gtest/gtest.h>
+
+#include "apps/stencil2d.hpp"
+
+namespace gdrshmem::apps {
+namespace {
+
+hw::ClusterConfig cluster_for(int pes, int ppn = 2) {
+  hw::ClusterConfig cfg;
+  cfg.num_nodes = (pes + ppn - 1) / ppn;
+  cfg.pes_per_node = ppn;
+  return cfg;
+}
+
+core::RuntimeOptions opts_for(core::TransportKind k,
+                              std::size_t gpu_bytes = 32u << 20) {
+  core::RuntimeOptions o;
+  o.transport = k;
+  o.gpu_heap_bytes = gpu_bytes;
+  return o;
+}
+
+TEST(Stencil2D, MatchesSerialReference2x2) {
+  Stencil2DConfig cfg;
+  cfg.nx = 32;
+  cfg.ny = 32;
+  cfg.px = 2;
+  cfg.py = 2;
+  cfg.iterations = 10;
+  auto res = run_stencil2d(cluster_for(4), opts_for(core::TransportKind::kEnhancedGdr),
+                           cfg);
+  double ref = stencil2d_reference_checksum(cfg);
+  EXPECT_NEAR(res.checksum, ref, std::abs(ref) * 1e-9 + 1e-9);
+  EXPECT_EQ(res.cells_updated, 32u * 32u * 10u);
+  EXPECT_GT(res.exec_time_ms, 0.0);
+}
+
+TEST(Stencil2D, MatchesSerialReference1x4AndBaseline) {
+  Stencil2DConfig cfg;
+  cfg.nx = 16;
+  cfg.ny = 64;
+  cfg.px = 1;
+  cfg.py = 4;
+  cfg.iterations = 7;
+  double ref = stencil2d_reference_checksum(cfg);
+  for (auto k : {core::TransportKind::kEnhancedGdr,
+                 core::TransportKind::kHostPipeline}) {
+    auto res = run_stencil2d(cluster_for(4), opts_for(k), cfg);
+    EXPECT_NEAR(res.checksum, ref, std::abs(ref) * 1e-9 + 1e-9)
+        << core::to_string(k);
+  }
+}
+
+TEST(Stencil2D, SinglePeDegenerateGrid) {
+  Stencil2DConfig cfg;
+  cfg.nx = 8;
+  cfg.ny = 8;
+  cfg.px = 1;
+  cfg.py = 1;
+  cfg.iterations = 3;
+  auto res = run_stencil2d(cluster_for(1, 1),
+                           opts_for(core::TransportKind::kEnhancedGdr), cfg);
+  EXPECT_NEAR(res.checksum, stencil2d_reference_checksum(cfg), 1e-9);
+}
+
+TEST(Stencil2D, RejectsBadDecomposition) {
+  Stencil2DConfig cfg;
+  cfg.px = 3;
+  cfg.py = 1;  // 3 != 4 PEs
+  EXPECT_THROW(run_stencil2d(cluster_for(4),
+                             opts_for(core::TransportKind::kEnhancedGdr), cfg),
+               core::ShmemError);
+  cfg.px = 4;
+  cfg.py = 1;
+  cfg.nx = 30;  // not divisible by 4
+  EXPECT_THROW(run_stencil2d(cluster_for(4),
+                             opts_for(core::TransportKind::kEnhancedGdr), cfg),
+               core::ShmemError);
+}
+
+TEST(Stencil2D, EnhancedFasterThanBaselineAtScale) {
+  // Fig 11 shape: on multiple nodes the GDR design cuts execution time.
+  Stencil2DConfig cfg;
+  cfg.nx = 256;
+  cfg.ny = 256;
+  cfg.px = 4;
+  cfg.py = 2;
+  cfg.iterations = 25;
+  cfg.functional = false;  // timing-only
+  auto enhanced = run_stencil2d(
+      cluster_for(8), opts_for(core::TransportKind::kEnhancedGdr), cfg);
+  auto baseline = run_stencil2d(
+      cluster_for(8), opts_for(core::TransportKind::kHostPipeline), cfg);
+  EXPECT_LT(enhanced.exec_time_ms, baseline.exec_time_ms);
+  double improvement = 1.0 - enhanced.exec_time_ms / baseline.exec_time_ms;
+  EXPECT_GT(improvement, 0.05);  // paper reports 14-24%
+  EXPECT_LT(improvement, 0.60);
+}
+
+TEST(Stencil2D, FunctionalFlagDoesNotChangeTiming) {
+  Stencil2DConfig cfg;
+  cfg.nx = 32;
+  cfg.ny = 32;
+  cfg.px = 2;
+  cfg.py = 2;
+  cfg.iterations = 5;
+  cfg.functional = true;
+  auto a = run_stencil2d(cluster_for(4),
+                         opts_for(core::TransportKind::kEnhancedGdr), cfg);
+  cfg.functional = false;
+  auto b = run_stencil2d(cluster_for(4),
+                         opts_for(core::TransportKind::kEnhancedGdr), cfg);
+  EXPECT_DOUBLE_EQ(a.exec_time_ms, b.exec_time_ms);
+}
+
+}  // namespace
+}  // namespace gdrshmem::apps

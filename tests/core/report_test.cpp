@@ -1,0 +1,45 @@
+// Runtime report formatting.
+#include <gtest/gtest.h>
+
+#include "core/report.hpp"
+#include "test_util.hpp"
+
+namespace gdrshmem::core {
+namespace {
+
+using testing::make_cluster;
+using testing::make_options;
+
+TEST(Report, SummarizesProtocolsAndResources) {
+  Runtime rt(make_cluster(2, 1), make_options(TransportKind::kEnhancedGdr));
+  rt.run([&](Ctx& ctx) {
+    void* g = ctx.shmalloc(1u << 20, Domain::kGpu);
+    void* local = ctx.cuda_malloc(1u << 20);
+    if (ctx.my_pe() == 0) {
+      ctx.putmem(g, local, 8, 1);           // direct GDR
+      ctx.putmem(g, local, 1u << 20, 1);    // pipeline
+      ctx.getmem(local, g, 1u << 20, 1);    // proxy get
+      ctx.quiet();
+    }
+    ctx.barrier_all();
+  });
+  std::string report = format_report(rt);
+  EXPECT_NE(report.find("enhanced-gdr"), std::string::npos);
+  EXPECT_NE(report.find("direct-gdr"), std::string::npos);
+  EXPECT_NE(report.find("pipeline-gdr-write"), std::string::npos);
+  EXPECT_NE(report.find("proxy-get"), std::string::npos);
+  EXPECT_NE(report.find("registration cache"), std::string::npos);
+  EXPECT_NE(report.find("proxy daemons: 1 gets"), std::string::npos);
+  EXPECT_NE(report.find("symmetric heaps"), std::string::npos);
+}
+
+TEST(Report, BaselineHasNoProxySection) {
+  Runtime rt(make_cluster(1, 2), make_options(TransportKind::kHostPipeline));
+  rt.run([&](Ctx& ctx) { ctx.barrier_all(); });
+  std::string report = format_report(rt);
+  EXPECT_EQ(report.find("proxy daemons"), std::string::npos);
+  EXPECT_NE(report.find("host-pipeline"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdrshmem::core

@@ -1,0 +1,198 @@
+// Core runtime tests: symmetric heaps, shmalloc/shfree, address
+// translation, shmem_ptr, and misuse detection.
+#include <gtest/gtest.h>
+
+#include "core/heap.hpp"
+#include "test_util.hpp"
+
+namespace gdrshmem::core {
+namespace {
+
+using testing::make_cluster;
+using testing::make_options;
+using testing::run_spmd;
+
+TEST(SymmetricHeap, BumpAllocationAndAlignment) {
+  std::vector<std::byte> storage(4096);
+  SymmetricHeap h(Domain::kHost, storage.data(), storage.size());
+  void* a = h.allocate(100);
+  void* b = h.allocate(10);
+  // Alignment is relative to the heap base (offsets must line up across
+  // PEs; the bases themselves come from the allocator).
+  EXPECT_EQ(h.offset_of(a) % 64, 0u);
+  EXPECT_EQ(static_cast<std::byte*>(b) - static_cast<std::byte*>(a), 128);
+  EXPECT_TRUE(h.contains(a));
+  EXPECT_FALSE(h.contains(storage.data() + 4096));
+  EXPECT_EQ(h.live_allocations(), 2u);
+}
+
+TEST(SymmetricHeap, ExhaustionThrows) {
+  std::vector<std::byte> storage(256);
+  SymmetricHeap h(Domain::kGpu, storage.data(), storage.size());
+  EXPECT_THROW(h.allocate(512), ShmemError);
+  EXPECT_THROW(h.allocate(0), ShmemError);
+}
+
+TEST(SymmetricHeap, LifoFreeReclaims) {
+  std::vector<std::byte> storage(1024);
+  SymmetricHeap h(Domain::kHost, storage.data(), storage.size());
+  void* a = h.allocate(128);
+  void* b = h.allocate(128);
+  std::size_t used = h.used();
+  h.deallocate(b);
+  EXPECT_LT(h.used(), used);
+  void* b2 = h.allocate(128);
+  EXPECT_EQ(b2, b);  // space was actually reclaimed
+  h.deallocate(b2);
+  h.deallocate(a);
+  EXPECT_EQ(h.used(), 0u);
+  EXPECT_THROW(h.deallocate(a), ShmemError);  // double free
+}
+
+TEST(SymmetricHeap, NonLifoFreeDeferred) {
+  std::vector<std::byte> storage(1024);
+  SymmetricHeap h(Domain::kHost, storage.data(), storage.size());
+  void* a = h.allocate(64);
+  void* b = h.allocate(64);
+  h.deallocate(a);  // below b: reclamation deferred
+  EXPECT_GT(h.used(), 0u);
+  h.deallocate(b);  // now everything unwinds
+  EXPECT_EQ(h.used(), 0u);
+}
+
+TEST(Runtime, ShmallocSymmetricAcrossPes) {
+  std::vector<void*> host_ptrs(4), gpu_ptrs(4);
+  auto rt = run_spmd(make_cluster(2), make_options(TransportKind::kEnhancedGdr),
+                     [&](Ctx& ctx) {
+                       host_ptrs[ctx.my_pe()] = ctx.shmalloc(1024, Domain::kHost);
+                       gpu_ptrs[ctx.my_pe()] = ctx.shmalloc(2048, Domain::kGpu);
+                     });
+  // Same offset in every PE's heap.
+  for (int pe = 0; pe < 4; ++pe) {
+    EXPECT_EQ(rt->heap(pe, Domain::kHost).offset_of(host_ptrs[pe]),
+              rt->heap(0, Domain::kHost).offset_of(host_ptrs[0]));
+    EXPECT_EQ(rt->heap(pe, Domain::kGpu).offset_of(gpu_ptrs[pe]),
+              rt->heap(0, Domain::kGpu).offset_of(gpu_ptrs[0]));
+  }
+  // GPU-domain allocations are device memory under UVA.
+  EXPECT_EQ(rt->cuda().attributes(gpu_ptrs[1]).space, cudart::MemSpace::kDevice);
+  EXPECT_EQ(rt->cuda().attributes(host_ptrs[1]).space, cudart::MemSpace::kHost);
+}
+
+TEST(Runtime, ShmallocDivergenceDetected) {
+  EXPECT_THROW(
+      run_spmd(make_cluster(1, 2), make_options(TransportKind::kEnhancedGdr),
+               [&](Ctx& ctx) {
+                 // PE 0 and PE 1 disagree about the collective allocation.
+                 ctx.shmalloc(ctx.my_pe() == 0 ? 128 : 256, Domain::kHost);
+               }),
+      ShmemError);
+}
+
+TEST(Runtime, TranslateMapsOffsets) {
+  run_spmd(make_cluster(2), make_options(TransportKind::kEnhancedGdr),
+           [&](Ctx& ctx) {
+             auto* p = static_cast<std::byte*>(ctx.shmalloc(512, Domain::kHost));
+             Runtime& rt = ctx.runtime();
+             Domain dom;
+             void* remote = rt.translate(p + 17, ctx.my_pe(),
+                                         (ctx.my_pe() + 1) % 4, 4, &dom);
+             EXPECT_EQ(dom, Domain::kHost);
+             // Same offset within the peer's heap.
+             int peer = (ctx.my_pe() + 1) % 4;
+             EXPECT_EQ(static_cast<std::byte*>(remote) -
+                           rt.heap(peer, Domain::kHost).base(),
+                       p + 17 - rt.heap(ctx.my_pe(), Domain::kHost).base());
+             ctx.barrier_all();
+           });
+}
+
+TEST(Runtime, TranslateRejectsNonSymmetric) {
+  run_spmd(make_cluster(1, 2), make_options(TransportKind::kEnhancedGdr),
+           [&](Ctx& ctx) {
+             int local = 0;
+             EXPECT_THROW(ctx.putmem(&local, &local, 4, 0), ShmemError);
+             ctx.barrier_all();
+           });
+}
+
+TEST(Runtime, TranslateRejectsOverrun) {
+  run_spmd(make_cluster(1, 2), make_options(TransportKind::kEnhancedGdr),
+           [&](Ctx& ctx) {
+             void* p = ctx.shmalloc(64, Domain::kHost);
+             int v = 0;
+             // Put that would run past the end of the heap.
+             EXPECT_THROW(
+                 ctx.putmem(static_cast<std::byte*>(p), &v,
+                            ctx.runtime().options().host_heap_bytes, 0),
+                 ShmemError);
+             ctx.barrier_all();
+           });
+}
+
+TEST(Runtime, ShmemPtrSemantics) {
+  run_spmd(make_cluster(2, 2), make_options(TransportKind::kEnhancedGdr),
+           [&](Ctx& ctx) {
+             void* h = ctx.shmalloc(64, Domain::kHost);
+             void* g = ctx.shmalloc(64, Domain::kGpu);
+             if (ctx.my_pe() == 0) {
+               EXPECT_NE(ctx.shmem_ptr(h, 1), nullptr);   // same node, host
+               EXPECT_EQ(ctx.shmem_ptr(h, 2), nullptr);   // other node
+               EXPECT_EQ(ctx.shmem_ptr(g, 1), nullptr);   // GPU domain
+               EXPECT_EQ(ctx.shmem_ptr(h, 0), h);         // self
+             }
+             ctx.barrier_all();
+           });
+}
+
+TEST(Runtime, TargetPeValidated) {
+  run_spmd(make_cluster(1, 2), make_options(TransportKind::kEnhancedGdr),
+           [&](Ctx& ctx) {
+             void* p = ctx.shmalloc(64, Domain::kHost);
+             int v = 0;
+             EXPECT_THROW(ctx.putmem(p, &v, 4, 7), ShmemError);
+             EXPECT_THROW(ctx.putmem(p, &v, 4, -1), ShmemError);
+             ctx.barrier_all();
+           });
+}
+
+TEST(Runtime, RunIsSingleShot) {
+  Runtime rt(make_cluster(1, 1), make_options(TransportKind::kEnhancedGdr));
+  rt.run([](Ctx&) {});
+  EXPECT_THROW(rt.run([](Ctx&) {}), ShmemError);
+}
+
+TEST(Runtime, ApiOutsideRunThrows) {
+  Runtime rt(make_cluster(1, 2), make_options(TransportKind::kEnhancedGdr));
+  EXPECT_THROW(rt.ctx(0).barrier_all(), ShmemError);
+}
+
+TEST(Runtime, ShfreeReclaimsAndChecks) {
+  run_spmd(make_cluster(1, 2), make_options(TransportKind::kEnhancedGdr),
+           [&](Ctx& ctx) {
+             void* a = ctx.shmalloc(128, Domain::kGpu);
+             std::size_t used = ctx.runtime().heap(ctx.my_pe(), Domain::kGpu).used();
+             ctx.shfree(a);
+             EXPECT_LT(ctx.runtime().heap(ctx.my_pe(), Domain::kGpu).used(), used);
+             int not_symmetric;
+             EXPECT_THROW(ctx.shfree(&not_symmetric), ShmemError);
+             ctx.barrier_all();
+           });
+}
+
+TEST(Runtime, GdrInterSocketDetection) {
+  {
+    Runtime rt(make_cluster(2, 2, /*same_socket=*/true),
+               make_options(TransportKind::kEnhancedGdr));
+    EXPECT_FALSE(rt.gdr_inter_socket(0));
+    EXPECT_FALSE(rt.gdr_inter_socket(1));
+  }
+  {
+    Runtime rt(make_cluster(2, 2, /*same_socket=*/false),
+               make_options(TransportKind::kEnhancedGdr));
+    EXPECT_TRUE(rt.gdr_inter_socket(0));
+  }
+}
+
+}  // namespace
+}  // namespace gdrshmem::core

@@ -1,0 +1,34 @@
+// Shared helpers for the core-runtime tests.
+#pragma once
+
+#include "core/ctx.hpp"
+#include "core/runtime.hpp"
+
+namespace gdrshmem::core::testing {
+
+inline hw::ClusterConfig make_cluster(int nodes, int ppn = 2,
+                                      bool same_socket = true) {
+  hw::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.pes_per_node = ppn;
+  cfg.hca_gpu_same_socket = same_socket;
+  return cfg;
+}
+
+inline RuntimeOptions make_options(TransportKind k) {
+  RuntimeOptions o;
+  o.transport = k;
+  return o;
+}
+
+/// Run an SPMD program on a fresh runtime and return the runtime for
+/// post-mortem inspection (stats, virtual time).
+template <typename Fn>
+std::unique_ptr<Runtime> run_spmd(const hw::ClusterConfig& cluster,
+                                  const RuntimeOptions& opts, Fn&& body) {
+  auto rt = std::make_unique<Runtime>(cluster, opts);
+  rt->run([&](Ctx& ctx) { body(ctx); });
+  return rt;
+}
+
+}  // namespace gdrshmem::core::testing

@@ -1,0 +1,61 @@
+// Operation tracer tests.
+#include <gtest/gtest.h>
+
+#include "core/trace.hpp"
+#include "test_util.hpp"
+
+namespace gdrshmem::core {
+namespace {
+
+using testing::make_cluster;
+using testing::make_options;
+
+TEST(Trace, DisabledByDefaultAndFree) {
+  Runtime rt(make_cluster(2, 1), make_options(TransportKind::kEnhancedGdr));
+  rt.run([&](Ctx& ctx) {
+    void* p = ctx.shmalloc(64);
+    int v = 1;
+    if (ctx.my_pe() == 0) ctx.putmem(p, &v, sizeof(v), 1);
+    ctx.barrier_all();
+  });
+  EXPECT_TRUE(rt.tracer().events().empty());
+}
+
+TEST(Trace, RecordsOpsWithProtocolAndTiming) {
+  Runtime rt(make_cluster(2, 1), make_options(TransportKind::kEnhancedGdr));
+  rt.tracer().enable();
+  rt.run([&](Ctx& ctx) {
+    void* g = ctx.shmalloc(1u << 20, Domain::kGpu);
+    void* local = ctx.cuda_malloc(1u << 20);
+    if (ctx.my_pe() == 0) {
+      ctx.putmem(g, local, 8, 1);
+      ctx.getmem(local, g, 1u << 20, 1);
+      ctx.quiet();
+    }
+    ctx.barrier_all();
+  });
+  // Find the user ops among the barrier-internal flag puts.
+  const TraceEvent* small_put = nullptr;
+  const TraceEvent* big_get = nullptr;
+  for (const auto& e : rt.tracer().events()) {
+    if (e.kind == TraceEvent::Kind::kPut && e.bytes == 8 && e.target == 1 &&
+        e.protocol == Protocol::kDirectGdr) {
+      small_put = &e;
+    }
+    if (e.kind == TraceEvent::Kind::kGet && e.bytes == (1u << 20)) big_get = &e;
+  }
+  ASSERT_NE(small_put, nullptr);
+  ASSERT_NE(big_get, nullptr);
+  EXPECT_EQ(big_get->protocol, Protocol::kProxyGet);
+  EXPECT_GT(big_get->end, big_get->start);
+  EXPECT_GE(big_get->start, small_put->start);
+
+  std::string csv = rt.tracer().to_csv();
+  EXPECT_NE(csv.find("pe,kind,target,bytes,protocol,start_us,end_us"),
+            std::string::npos);
+  EXPECT_NE(csv.find("proxy-get"), std::string::npos);
+  EXPECT_NE(csv.find("direct-gdr"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gdrshmem::core

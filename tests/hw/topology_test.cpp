@@ -1,0 +1,119 @@
+// Unit tests for the cluster topology model: placement, path construction,
+// and the Table III P2P bandwidth asymmetries the paper's designs react to.
+#include "hw/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gdrshmem::hw {
+namespace {
+
+ClusterConfig wilkes_like(int nodes = 2, int pes = 2) {
+  ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.pes_per_node = pes;
+  return cfg;
+}
+
+TEST(Cluster, RejectsDegenerateConfigs) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 0;
+  EXPECT_THROW(Cluster{cfg}, std::invalid_argument);
+  cfg = ClusterConfig{};
+  cfg.gpus_per_node = 0;
+  EXPECT_THROW(Cluster{cfg}, std::invalid_argument);
+}
+
+TEST(Cluster, PlacementIsDeterministicAndRoundRobin) {
+  Cluster c(wilkes_like(2, 2));
+  EXPECT_EQ(c.num_pes(), 4);
+  PePlacement p0 = c.placement(0), p1 = c.placement(1), p2 = c.placement(2);
+  EXPECT_EQ(p0.node, 0);
+  EXPECT_EQ(p1.node, 0);
+  EXPECT_EQ(p2.node, 1);
+  EXPECT_EQ(p0.gpu, 0);
+  EXPECT_EQ(p1.gpu, 1);
+  EXPECT_NE(p0.socket, p1.socket);  // 2 GPUs spread across 2 sockets
+  EXPECT_TRUE(c.same_node(0, 1));
+  EXPECT_FALSE(c.same_node(0, 2));
+  // Ids beyond the PEs are per-node service (proxy) endpoints.
+  EXPECT_EQ(c.service_endpoint(1), 5);
+  PePlacement svc = c.placement(c.service_endpoint(1));
+  EXPECT_EQ(svc.node, 1);
+  EXPECT_EQ(svc.local_rank, -1);
+  EXPECT_EQ(svc.hca, 0);
+  EXPECT_THROW(c.placement(6), std::out_of_range);
+  EXPECT_THROW(c.placement(-1), std::out_of_range);
+}
+
+TEST(Cluster, SameSocketHcaPreferred) {
+  Cluster c(wilkes_like());
+  for (int pe = 0; pe < 2; ++pe) {
+    PePlacement p = c.placement(pe);
+    const auto& hca = c.node(p.node).hcas.at(static_cast<std::size_t>(p.hca));
+    EXPECT_EQ(hca.socket, p.socket);
+  }
+}
+
+TEST(Cluster, InterSocketPlacementWhenRequested) {
+  ClusterConfig cfg = wilkes_like();
+  cfg.hca_gpu_same_socket = false;
+  Cluster c(cfg);
+  PePlacement p = c.placement(0);
+  const auto& hca = c.node(p.node).hcas.at(static_cast<std::size_t>(p.hca));
+  EXPECT_NE(hca.socket, p.socket);
+}
+
+TEST(Cluster, GdrLegEncodesTableIIIAsymmetry) {
+  Cluster c(wilkes_like());
+  const SystemParams& p = c.params();
+  // GPU 0 and HCA 0 share socket 0; GPU 1 is on socket 1.
+  sim::Path read_intra = c.gdr_leg(0, 0, 0, P2pDir::kRead);
+  sim::Path read_inter = c.gdr_leg(0, 0, 1, P2pDir::kRead);
+  sim::Path write_intra = c.gdr_leg(0, 0, 0, P2pDir::kWrite);
+  sim::Path write_inter = c.gdr_leg(0, 0, 1, P2pDir::kWrite);
+  EXPECT_DOUBLE_EQ(read_intra.bw_mbps, p.p2p_read_intra_socket_bw_mbps);
+  EXPECT_DOUBLE_EQ(read_inter.bw_mbps, p.p2p_read_inter_socket_bw_mbps);
+  EXPECT_DOUBLE_EQ(write_intra.bw_mbps, p.p2p_write_intra_socket_bw_mbps);
+  EXPECT_DOUBLE_EQ(write_inter.bw_mbps, p.p2p_write_inter_socket_bw_mbps);
+  EXPECT_GT(read_inter.latency, read_intra.latency);  // extra QPI hop
+  // The paper's headline asymmetry: inter-socket P2P read is catastrophic.
+  EXPECT_LT(read_inter.bw_mbps, 0.05 * p.ib_bandwidth_mbps);
+  EXPECT_DOUBLE_EQ(write_intra.bw_mbps / p.ib_bandwidth_mbps, 6396.0 / 6397.0);
+}
+
+TEST(Cluster, WireLoopbackVersusNetwork) {
+  Cluster c(wilkes_like());
+  sim::Path loop = c.wire(0, 0, 0, 0);
+  sim::Path net = c.wire(0, 0, 1, 0);
+  EXPECT_LT(loop.latency, net.latency);
+  EXPECT_EQ(loop.links.size(), 1u);
+  EXPECT_EQ(net.links.size(), 2u);
+  EXPECT_DOUBLE_EQ(net.bw_mbps, c.params().ib_bandwidth_mbps);
+}
+
+TEST(Cluster, CudaCopyPathsShareGpuPcieLink) {
+  Cluster c(wilkes_like());
+  sim::Path h2d = c.cuda_h2d(0, 0);
+  sim::Path gdr = c.gdr_leg(0, 0, 0, P2pDir::kWrite);
+  // Both cross the GPU's PCIe slot, so they contend.
+  bool shared = false;
+  for (auto* a : h2d.links) {
+    for (auto* b : gdr.links) shared |= (a == b);
+  }
+  EXPECT_TRUE(shared);
+}
+
+TEST(Cluster, DeviceLocalCopyIsFastest) {
+  Cluster c(wilkes_like());
+  EXPECT_GT(c.cuda_d2d(0, 0, 0).bw_mbps, c.cuda_d2d(0, 0, 1).bw_mbps);
+  EXPECT_GT(c.cuda_d2d(0, 0, 1).latency, c.cuda_d2d(0, 0, 0).latency);
+}
+
+TEST(Cluster, PeOutOfRangeGpuHcaAccessorsThrow) {
+  Cluster c(wilkes_like());
+  EXPECT_THROW(c.node(5), std::out_of_range);
+  EXPECT_THROW(c.cuda_h2d(0, 7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gdrshmem::hw

@@ -1,0 +1,147 @@
+// Microbenchmark-harness tests: sweep sanity, the paper's headline ratios,
+// overlap, and bandwidth plausibility.
+#include <gtest/gtest.h>
+
+#include "omb/omb.hpp"
+
+namespace gdrshmem::omb {
+namespace {
+
+using core::Domain;
+using core::TransportKind;
+
+LatencyConfig base_cfg() {
+  LatencyConfig cfg;
+  cfg.iters = 30;
+  cfg.warmup = 5;
+  return cfg;
+}
+
+TEST(Omb, LabelsMatchPaperNaming) {
+  LatencyConfig cfg = base_cfg();
+  cfg.intra_node = true;
+  cfg.local = Loc::kHost;
+  cfg.remote = Domain::kGpu;
+  cfg.is_put = true;
+  EXPECT_EQ(config_label(cfg), "intra H-D put");
+  cfg.intra_node = false;
+  cfg.local = Loc::kDevice;
+  cfg.is_put = false;
+  EXPECT_EQ(config_label(cfg), "inter D-D get");
+}
+
+TEST(Omb, SizeListsAreSorted) {
+  auto s = small_message_sizes();
+  auto l = large_message_sizes();
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  EXPECT_TRUE(std::is_sorted(l.begin(), l.end()));
+  EXPECT_LT(s.back(), l.front());
+}
+
+TEST(Omb, LatencyMonotonicInSizeForLargeMessages) {
+  LatencyConfig cfg = base_cfg();
+  cfg.intra_node = false;
+  cfg.local = Loc::kDevice;
+  cfg.remote = Domain::kGpu;
+  cfg.sizes = {64u << 10, 256u << 10, 1u << 20, 4u << 20};
+  auto pts = run_latency(cfg);
+  ASSERT_EQ(pts.size(), 4u);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GT(pts[i].latency_us, pts[i - 1].latency_us);
+  }
+  // 4 MB at ~6.4 GB/s wire: at least ~600 us.
+  EXPECT_GT(pts.back().latency_us, 500.0);
+}
+
+TEST(Omb, EmptySizesRejected) {
+  LatencyConfig cfg = base_cfg();
+  EXPECT_THROW(run_latency(cfg), core::ShmemError);
+}
+
+TEST(Omb, Fig8ShapeSmallDd) {
+  // Inter-node D-D small messages: Enhanced ~7x better than baseline.
+  LatencyConfig cfg = base_cfg();
+  cfg.intra_node = false;
+  cfg.local = Loc::kDevice;
+  cfg.remote = Domain::kGpu;
+  cfg.sizes = {8};
+  cfg.transport = TransportKind::kEnhancedGdr;
+  double enhanced = run_latency(cfg)[0].latency_us;
+  cfg.transport = TransportKind::kHostPipeline;
+  double baseline = run_latency(cfg)[0].latency_us;
+  EXPECT_GT(baseline / enhanced, 4.0);
+  EXPECT_LT(baseline / enhanced, 10.0);
+}
+
+TEST(Omb, Fig6ShapeSmallIntraHd) {
+  LatencyConfig cfg = base_cfg();
+  cfg.intra_node = true;
+  cfg.local = Loc::kHost;
+  cfg.remote = Domain::kGpu;
+  cfg.sizes = {4};
+  cfg.transport = TransportKind::kEnhancedGdr;
+  double enhanced = run_latency(cfg)[0].latency_us;
+  cfg.transport = TransportKind::kHostPipeline;
+  double baseline = run_latency(cfg)[0].latency_us;
+  EXPECT_GT(baseline / enhanced, 2.0);
+}
+
+TEST(Omb, GetLatencyComparableToPut) {
+  LatencyConfig cfg = base_cfg();
+  cfg.intra_node = true;
+  cfg.local = Loc::kHost;
+  cfg.remote = Domain::kGpu;
+  cfg.sizes = {4};
+  cfg.is_put = false;
+  double get_us = run_latency(cfg)[0].latency_us;
+  EXPECT_GT(get_us, 1.0);
+  EXPECT_LT(get_us, 4.0);  // paper: 2.02 us
+}
+
+TEST(Omb, OverlapFig10Shape) {
+  OverlapConfig cfg;
+  cfg.bytes = 8 * 1024;
+  cfg.target_compute_us = {50, 200};
+  cfg.iters = 5;
+  cfg.transport = TransportKind::kEnhancedGdr;
+  auto enhanced = run_overlap(cfg);
+  ASSERT_EQ(enhanced.size(), 2u);
+  for (const auto& p : enhanced) EXPECT_GT(p.overlap_pct, 95.0);
+
+  cfg.transport = TransportKind::kHostPipeline;
+  auto baseline = run_overlap(cfg);
+  // Baseline communication time tracks the target's compute time.
+  EXPECT_GT(baseline[1].comm_time_us, 150.0);
+  EXPECT_LT(baseline[1].overlap_pct, 40.0);
+}
+
+TEST(Omb, BandwidthApproachesWireSpeed) {
+  BandwidthConfig cfg;
+  cfg.intra_node = false;
+  cfg.local = Loc::kHost;
+  cfg.remote = Domain::kHost;
+  cfg.bytes = 1u << 20;
+  cfg.window = 8;
+  cfg.iters = 5;
+  auto res = run_bandwidth(cfg);
+  EXPECT_GT(res.mbps, 0.8 * 6397.0);
+  EXPECT_LT(res.mbps, 1.02 * 6397.0);
+}
+
+TEST(Omb, GdrLargePutBandwidthCappedByP2pWrite) {
+  // Large H-D put (intra-socket): direct GDR write capped at 6396 MB/s;
+  // effectively the wire. D-D goes through the pipeline at similar speed.
+  BandwidthConfig cfg;
+  cfg.intra_node = false;
+  cfg.local = Loc::kDevice;
+  cfg.remote = Domain::kGpu;
+  cfg.bytes = 2u << 20;
+  cfg.window = 4;
+  cfg.iters = 5;
+  auto res = run_bandwidth(cfg);
+  EXPECT_GT(res.mbps, 0.6 * 6397.0);
+  EXPECT_LT(res.mbps, 1.02 * 6397.0);
+}
+
+}  // namespace
+}  // namespace gdrshmem::omb

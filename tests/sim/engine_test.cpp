@@ -1,0 +1,266 @@
+// Unit tests for the virtual-time engine: event ordering, process
+// scheduling, notifications, mailboxes, daemons, and deadlock detection.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/future.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/time.hpp"
+
+namespace gdrshmem::sim {
+namespace {
+
+TEST(Time, ArithmeticAndConversions) {
+  Duration d = Duration::us(2.5);
+  EXPECT_EQ(d.count_ns(), 2500);
+  EXPECT_DOUBLE_EQ(d.to_us(), 2.5);
+  Time t = Time::zero() + d;
+  EXPECT_EQ(t.count_ns(), 2500);
+  EXPECT_EQ((t + Duration::ns(1)) - t, Duration::ns(1));
+  EXPECT_LT(Duration::us(1.0), Duration::us(1.5));
+  EXPECT_EQ(Duration::us(1.0) * 3.0, Duration::us(3.0));
+}
+
+TEST(Time, RoundsToNearestNanosecond) {
+  EXPECT_EQ(Duration::us(0.0001).count_ns(), 0);
+  EXPECT_EQ(Duration::us(0.0006).count_ns(), 1);
+  EXPECT_EQ(Duration::us(0.35).count_ns(), 350);
+}
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(Time::ns(30), [&] { order.push_back(3); });
+  eng.schedule_at(Time::ns(10), [&] { order.push_back(1); });
+  eng.schedule_at(Time::ns(20), [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), Time::ns(30));
+}
+
+TEST(Engine, EqualTimeEventsRunInScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    eng.schedule_at(Time::ns(5), [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine eng;
+  eng.schedule_at(Time::ns(10), [&] {
+    EXPECT_THROW(eng.schedule_at(Time::ns(5), [] {}), std::invalid_argument);
+  });
+  eng.run();
+}
+
+TEST(Engine, ProcessDelayAdvancesVirtualTime) {
+  Engine eng;
+  Time observed;
+  eng.spawn("worker", [&](Process& p) {
+    p.delay(Duration::us(7));
+    observed = p.engine().now();
+    p.delay(Duration::us(3));
+  });
+  eng.run();
+  EXPECT_EQ(observed, Time::zero() + Duration::us(7));
+  EXPECT_EQ(eng.now(), Time::zero() + Duration::us(10));
+}
+
+TEST(Engine, NegativeDelayThrows) {
+  Engine eng;
+  bool threw = false;
+  eng.spawn("worker", [&](Process& p) {
+    try {
+      p.delay(Duration::ns(-1));
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(Engine, TwoProcessesInterleaveDeterministically) {
+  Engine eng;
+  std::vector<std::pair<char, std::int64_t>> trace;
+  eng.spawn("a", [&](Process& p) {
+    for (int i = 0; i < 3; ++i) {
+      trace.emplace_back('a', eng.now().count_ns());
+      p.delay(Duration::ns(10));
+    }
+  });
+  eng.spawn("b", [&](Process& p) {
+    for (int i = 0; i < 3; ++i) {
+      trace.emplace_back('b', eng.now().count_ns());
+      p.delay(Duration::ns(15));
+    }
+  });
+  eng.run();
+  std::vector<std::pair<char, std::int64_t>> expected{
+      {'a', 0}, {'b', 0}, {'a', 10}, {'b', 15}, {'a', 20}, {'b', 30}};
+  EXPECT_EQ(trace, expected);
+}
+
+TEST(Engine, NotificationWakesAllWaiters) {
+  Engine eng;
+  Notification n;
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    eng.spawn("waiter" + std::to_string(i), [&](Process& p) {
+      p.await(n);
+      ++woken;
+    });
+  }
+  eng.spawn("notifier", [&](Process& p) {
+    p.delay(Duration::us(5));
+    n.notify();
+  });
+  eng.run();
+  EXPECT_EQ(woken, 3);
+  EXPECT_EQ(eng.now(), Time::zero() + Duration::us(5));
+}
+
+TEST(Engine, AwaitUntilRechecksPredicate) {
+  Engine eng;
+  Notification n;
+  int value = 0;
+  Time done;
+  eng.spawn("waiter", [&](Process& p) {
+    p.await_until(n, [&] { return value >= 2; });
+    done = eng.now();
+  });
+  eng.spawn("setter", [&](Process& p) {
+    p.delay(Duration::us(1));
+    value = 1;
+    n.notify();  // predicate still false; waiter must keep waiting
+    p.delay(Duration::us(1));
+    value = 2;
+    n.notify();
+  });
+  eng.run();
+  EXPECT_EQ(done, Time::zero() + Duration::us(2));
+}
+
+TEST(Engine, DeadlockIsReported) {
+  Engine eng;
+  Notification never;
+  eng.spawn("stuck", [&](Process& p) { p.await(never); });
+  EXPECT_THROW(eng.run(), DeadlockError);
+}
+
+TEST(Engine, DaemonDoesNotKeepRunAlive) {
+  Engine eng;
+  Notification never;
+  bool worker_done = false;
+  eng.spawn("daemon", [&](Process& p) { p.await(never); }, /*daemon=*/true);
+  eng.spawn("worker", [&](Process& p) {
+    p.delay(Duration::us(1));
+    worker_done = true;
+  });
+  eng.run();  // must terminate despite the blocked daemon
+  EXPECT_TRUE(worker_done);
+}
+
+TEST(Engine, SpawnFromRunningProcess) {
+  Engine eng;
+  std::vector<std::string> started;
+  eng.spawn("parent", [&](Process& p) {
+    p.delay(Duration::us(1));
+    eng.spawn("child", [&](Process& c) {
+      started.push_back(c.name());
+      c.delay(Duration::us(1));
+    });
+    p.delay(Duration::us(5));
+    started.push_back("parent-done");
+  });
+  eng.run();
+  EXPECT_EQ(started, (std::vector<std::string>{"child", "parent-done"}));
+}
+
+TEST(Engine, ManyProcessesScale) {
+  Engine eng;
+  int finished = 0;
+  for (int i = 0; i < 128; ++i) {
+    eng.spawn("p" + std::to_string(i), [&finished, i](Process& p) {
+      p.delay(Duration::ns(i));
+      ++finished;
+    });
+  }
+  eng.run();
+  EXPECT_EQ(finished, 128);
+}
+
+TEST(Mailbox, PostThenReceive) {
+  Engine eng;
+  Mailbox<int> box;
+  std::vector<int> got;
+  eng.spawn("consumer", [&](Process& p) {
+    for (int i = 0; i < 3; ++i) got.push_back(box.receive(p));
+  });
+  eng.spawn("producer", [&](Process& p) {
+    for (int i = 1; i <= 3; ++i) {
+      p.delay(Duration::us(1));
+      box.post(i * 10);
+    }
+  });
+  eng.run();
+  EXPECT_EQ(got, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Mailbox, TryReceiveNonBlocking) {
+  Mailbox<int> box;
+  EXPECT_FALSE(box.try_receive().has_value());
+  box.post(42);
+  EXPECT_EQ(box.size(), 1u);
+  auto v = box.try_receive();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(box.empty());
+}
+
+TEST(Completion, FiresAndWakes) {
+  Engine eng;
+  bool waited = false;
+  eng.spawn("waiter", [&](Process& p) {
+    auto c = fire_at(eng, eng.now() + Duration::us(4));
+    EXPECT_FALSE(c->done());
+    c->wait(p);
+    EXPECT_TRUE(c->done());
+    waited = true;
+    EXPECT_EQ(eng.now(), Time::zero() + Duration::us(4));
+  });
+  eng.run();
+  EXPECT_TRUE(waited);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    Engine eng;
+    std::vector<std::int64_t> stamps;
+    Notification n;
+    eng.spawn("a", [&](Process& p) {
+      p.delay(Duration::ns(3));
+      n.notify();
+      p.delay(Duration::ns(9));
+      stamps.push_back(eng.now().count_ns());
+    });
+    eng.spawn("b", [&](Process& p) {
+      p.await(n);
+      stamps.push_back(eng.now().count_ns());
+      p.delay(Duration::ns(2));
+      stamps.push_back(eng.now().count_ns());
+    });
+    eng.run();
+    return stamps;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace gdrshmem::sim

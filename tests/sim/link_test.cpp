@@ -1,0 +1,78 @@
+// Unit tests for bandwidth links and transfer paths: serialization, FIFO
+// queuing, path combination and cut-through cost.
+#include "sim/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gdrshmem::sim {
+namespace {
+
+TEST(Link, SerializationTimeMatchesBandwidth) {
+  Link l("l", 1000.0);  // 1000 MB/s = 1 byte/ns
+  Path p{Duration::zero(), 1000.0, {&l}};
+  EXPECT_EQ(p.serialization(1000).count_ns(), 1000);
+  EXPECT_EQ(p.serialization(0).count_ns(), 0);
+}
+
+TEST(Link, FifoQueuing) {
+  Link l("l", 1000.0);
+  Path p{Duration::us(1), 1000.0, {&l}};
+  // First transfer: starts at 0, occupies link for 4000 ns, done at 5000 ns.
+  Time t1 = p.schedule(Time::zero(), 4000);
+  EXPECT_EQ(t1.count_ns(), 5000);
+  // Second transfer issued at the same instant queues behind the first.
+  Time t2 = p.schedule(Time::zero(), 1000);
+  EXPECT_EQ(t2.count_ns(), 4000 + 1000 + 1000);
+  EXPECT_EQ(l.bytes_transferred(), 5000u);
+}
+
+TEST(Link, IdleLinkStartsImmediately) {
+  Link l("l", 2000.0);
+  Path p{Duration::zero(), 2000.0, {&l}};
+  Time t = p.schedule(Time::ns(500), 2000);
+  EXPECT_EQ(t.count_ns(), 500 + 1000);
+}
+
+TEST(Path, PureLatencyPath) {
+  Path p{Duration::us(2), 0, {}};
+  EXPECT_EQ(p.cost(1 << 20), Duration::us(2));
+  EXPECT_EQ(p.schedule(Time::zero(), 1 << 20), Time::zero() + Duration::us(2));
+}
+
+TEST(Path, CombineAddsLatencyAndTakesMinBandwidth) {
+  Link a("a", 6397.0), b("b", 3421.0);
+  Path first{Duration::us(0.5), 6397.0, {&a}};
+  Path second{Duration::us(0.3), 3421.0, {&b}};
+  Path both = combine({first, second});
+  EXPECT_EQ(both.latency, Duration::us(0.8));
+  EXPECT_DOUBLE_EQ(both.bw_mbps, 3421.0);
+  EXPECT_EQ(both.links.size(), 2u);
+}
+
+TEST(Path, CombineIgnoresUnlimitedSegments) {
+  Path limited{Duration::zero(), 100.0, {}};
+  Path unlimited{Duration::us(1), 0, {}};
+  Path both = combine({unlimited, limited});
+  EXPECT_DOUBLE_EQ(both.bw_mbps, 100.0);
+}
+
+TEST(Path, CutThroughNotStoreAndForward) {
+  // Two links in one path: one serialization at min bandwidth, not two.
+  Link a("a", 1000.0), b("b", 1000.0);
+  Path p{Duration::zero(), 1000.0, {&a, &b}};
+  EXPECT_EQ(p.schedule(Time::zero(), 1000).count_ns(), 1000);
+}
+
+TEST(Path, ContentionAcrossDistinctPathsSharingALink) {
+  Link shared("shared", 1000.0);
+  Link fast("fast", 100000.0);
+  Path p1{Duration::zero(), 1000.0, {&shared}};
+  Path p2{Duration::zero(), 1000.0, {&shared, &fast}};
+  Time t1 = p1.schedule(Time::zero(), 10000);  // occupies shared until 10 us
+  EXPECT_EQ(t1.count_ns(), 10000);
+  Time t2 = p2.schedule(Time::zero(), 1000);  // queues behind on shared
+  EXPECT_EQ(t2.count_ns(), 11000);
+}
+
+}  // namespace
+}  // namespace gdrshmem::sim
