@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_proxy.cpp" "bench/CMakeFiles/bench_ablation_proxy.dir/bench_ablation_proxy.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_proxy.dir/bench_ablation_proxy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/gdrshmem_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/omb/CMakeFiles/gdrshmem_omb.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gdrshmem_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ib/CMakeFiles/gdrshmem_ib.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudart/CMakeFiles/gdrshmem_cudart.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/gdrshmem_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gdrshmem_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

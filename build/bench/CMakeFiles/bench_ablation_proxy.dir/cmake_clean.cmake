@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_proxy.dir/bench_ablation_proxy.cpp.o"
+  "CMakeFiles/bench_ablation_proxy.dir/bench_ablation_proxy.cpp.o.d"
+  "bench_ablation_proxy"
+  "bench_ablation_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_regcache.dir/bench_ablation_regcache.cpp.o"
+  "CMakeFiles/bench_ablation_regcache.dir/bench_ablation_regcache.cpp.o.d"
+  "bench_ablation_regcache"
+  "bench_ablation_regcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_regcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

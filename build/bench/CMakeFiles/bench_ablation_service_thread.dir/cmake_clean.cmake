@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_service_thread.dir/bench_ablation_service_thread.cpp.o"
+  "CMakeFiles/bench_ablation_service_thread.dir/bench_ablation_service_thread.cpp.o.d"
+  "bench_ablation_service_thread"
+  "bench_ablation_service_thread.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_service_thread.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_atomics.dir/bench_atomics.cpp.o"
+  "CMakeFiles/bench_atomics.dir/bench_atomics.cpp.o.d"
+  "bench_atomics"
+  "bench_atomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_stencil2d.dir/bench_fig11_stencil2d.cpp.o"
+  "CMakeFiles/bench_fig11_stencil2d.dir/bench_fig11_stencil2d.cpp.o.d"
+  "bench_fig11_stencil2d"
+  "bench_fig11_stencil2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_stencil2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

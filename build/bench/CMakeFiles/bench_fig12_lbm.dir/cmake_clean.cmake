@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_lbm.dir/bench_fig12_lbm.cpp.o"
+  "CMakeFiles/bench_fig12_lbm.dir/bench_fig12_lbm.cpp.o.d"
+  "bench_fig12_lbm"
+  "bench_fig12_lbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

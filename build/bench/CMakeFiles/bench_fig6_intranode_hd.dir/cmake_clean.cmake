@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_intranode_hd.dir/bench_fig6_intranode_hd.cpp.o"
+  "CMakeFiles/bench_fig6_intranode_hd.dir/bench_fig6_intranode_hd.cpp.o.d"
+  "bench_fig6_intranode_hd"
+  "bench_fig6_intranode_hd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_intranode_hd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

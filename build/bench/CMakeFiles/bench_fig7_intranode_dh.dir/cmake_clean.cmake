@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_intranode_dh.dir/bench_fig7_intranode_dh.cpp.o"
+  "CMakeFiles/bench_fig7_intranode_dh.dir/bench_fig7_intranode_dh.cpp.o.d"
+  "bench_fig7_intranode_dh"
+  "bench_fig7_intranode_dh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_intranode_dh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

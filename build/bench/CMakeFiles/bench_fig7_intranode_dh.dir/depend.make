@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_intranode_dh.
+# This may be replaced when dependencies are built.

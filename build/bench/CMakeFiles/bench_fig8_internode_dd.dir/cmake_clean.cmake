@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_internode_dd.dir/bench_fig8_internode_dd.cpp.o"
+  "CMakeFiles/bench_fig8_internode_dd.dir/bench_fig8_internode_dd.cpp.o.d"
+  "bench_fig8_internode_dd"
+  "bench_fig8_internode_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_internode_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

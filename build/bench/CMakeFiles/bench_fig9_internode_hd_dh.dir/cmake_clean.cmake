@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_internode_hd_dh.dir/bench_fig9_internode_hd_dh.cpp.o"
+  "CMakeFiles/bench_fig9_internode_hd_dh.dir/bench_fig9_internode_hd_dh.cpp.o.d"
+  "bench_fig9_internode_hd_dh"
+  "bench_fig9_internode_hd_dh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_internode_hd_dh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

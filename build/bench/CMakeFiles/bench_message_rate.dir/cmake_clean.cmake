@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_message_rate.dir/bench_message_rate.cpp.o"
+  "CMakeFiles/bench_message_rate.dir/bench_message_rate.cpp.o.d"
+  "bench_message_rate"
+  "bench_message_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_message_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_latency_gap.dir/bench_table2_latency_gap.cpp.o"
+  "CMakeFiles/bench_table2_latency_gap.dir/bench_table2_latency_gap.cpp.o.d"
+  "bench_table2_latency_gap"
+  "bench_table2_latency_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_latency_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

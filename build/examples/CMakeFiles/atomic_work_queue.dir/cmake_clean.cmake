@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/atomic_work_queue.dir/atomic_work_queue.cpp.o"
+  "CMakeFiles/atomic_work_queue.dir/atomic_work_queue.cpp.o.d"
+  "atomic_work_queue"
+  "atomic_work_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/atomic_work_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for atomic_work_queue.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latency_explorer.dir/latency_explorer.cpp.o"
+  "CMakeFiles/latency_explorer.dir/latency_explorer.cpp.o.d"
+  "latency_explorer"
+  "latency_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latency_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lbm_demo.dir/lbm_demo.cpp.o"
+  "CMakeFiles/lbm_demo.dir/lbm_demo.cpp.o.d"
+  "lbm_demo"
+  "lbm_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lbm_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlap_demo.dir/overlap_demo.cpp.o"
+  "CMakeFiles/overlap_demo.dir/overlap_demo.cpp.o.d"
+  "overlap_demo"
+  "overlap_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlap_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

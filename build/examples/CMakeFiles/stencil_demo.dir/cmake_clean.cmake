@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_demo.dir/stencil_demo.cpp.o"
+  "CMakeFiles/stencil_demo.dir/stencil_demo.cpp.o.d"
+  "stencil_demo"
+  "stencil_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

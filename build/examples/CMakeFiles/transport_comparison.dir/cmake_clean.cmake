@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_comparison.dir/transport_comparison.cpp.o"
+  "CMakeFiles/transport_comparison.dir/transport_comparison.cpp.o.d"
+  "transport_comparison"
+  "transport_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdrshmem_sim.dir/engine.cpp.o"
+  "CMakeFiles/gdrshmem_sim.dir/engine.cpp.o.d"
+  "libgdrshmem_sim.a"
+  "libgdrshmem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdrshmem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
