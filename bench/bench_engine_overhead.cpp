@@ -1,0 +1,129 @@
+// Engine execution-backend overhead: how fast does the simulator itself run?
+//
+// Every other bench in this directory reports *virtual* time; this one
+// reports *wall* time. It drives a message-rate-style workload (the shape of
+// bench_message_rate: a window of small messages between many PEs, with a
+// handoff at every post/receive) on the bare sim::Engine under both
+// execution backends and reports events/sec. The fiber backend replaces two
+// kernel context switches per handoff with a user-space swap; the measured
+// speedup is the headline number of the backend (tracked in
+// BENCH_engine.json; see EXPERIMENTS.md "Engine overhead").
+//
+// Determinism cross-check is built in: both backends must execute the exact
+// same number of events and reach the same virtual end time, or the bench
+// aborts.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/time.hpp"
+
+using namespace gdrshmem;
+using sim::BackendKind;
+using sim::Duration;
+using sim::Engine;
+using sim::Mailbox;
+using sim::Process;
+
+namespace {
+
+struct Result {
+  double wall_s = 0;
+  std::uint64_t events = 0;
+  std::int64_t virtual_end_ns = 0;
+
+  double events_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(events) / wall_s : 0;
+  }
+};
+
+/// 64-PE message-rate workload: each PE posts a window of messages to its
+/// right neighbour's mailbox, drains its own, and synchronizes — so every
+/// message costs a blocked receive and a wakeup, exactly the handoff pattern
+/// of the put/quiet loops in bench_message_rate.
+Result run_message_rate(BackendKind kind, int pes, int iters, int window) {
+  Result res;
+  Engine eng(kind);
+  std::vector<Mailbox<int>> boxes(static_cast<std::size_t>(pes));
+
+  for (int pe = 0; pe < pes; ++pe) {
+    eng.spawn("pe" + std::to_string(pe), [&, pe](Process& p) {
+      const int right = (pe + 1) % pes;
+      for (int i = 0; i < iters; ++i) {
+        for (int w = 0; w < window; ++w) {
+          boxes[static_cast<std::size_t>(right)].post(w);
+          p.delay(Duration::ns(5));  // per-message injection cost
+        }
+        for (int w = 0; w < window; ++w) {
+          boxes[static_cast<std::size_t>(pe)].receive(p);
+        }
+      }
+    });
+  }
+
+  const double t0 = bench::wall_now();
+  eng.run();
+  res.wall_s = bench::wall_now() - t0;
+  res.events = eng.events_executed();
+  res.virtual_end_ns = (eng.now() - sim::Time::zero()).count_ns();
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int pes = 64;
+  const int iters = 50;
+  const int window = 16;
+
+  std::printf("== engine overhead: %d-PE message-rate workload, "
+              "%d iters x window %d ==\n", pes, iters, window);
+
+  // Warm both backends once (thread pool spin-up, page faults), then measure.
+  run_message_rate(BackendKind::kFibers, 8, 2, 4);
+  run_message_rate(BackendKind::kThreads, 8, 2, 4);
+
+  Result threads = run_message_rate(BackendKind::kThreads, pes, iters, window);
+  Result fibers = run_message_rate(BackendKind::kFibers, pes, iters, window);
+
+  std::printf("%-10s %12s %14s %16s\n", "backend", "events", "wall (s)",
+              "events/sec");
+  std::printf("%-10s %12llu %14.4f %16.0f\n", "threads",
+              static_cast<unsigned long long>(threads.events), threads.wall_s,
+              threads.events_per_sec());
+  std::printf("%-10s %12llu %14.4f %16.0f\n", "fibers",
+              static_cast<unsigned long long>(fibers.events), fibers.wall_s,
+              fibers.events_per_sec());
+
+  if (threads.events != fibers.events ||
+      threads.virtual_end_ns != fibers.virtual_end_ns) {
+    std::fprintf(stderr,
+                 "FATAL: backends diverged (events %llu vs %llu, end %lld vs "
+                 "%lld ns) — determinism contract broken\n",
+                 static_cast<unsigned long long>(threads.events),
+                 static_cast<unsigned long long>(fibers.events),
+                 static_cast<long long>(threads.virtual_end_ns),
+                 static_cast<long long>(fibers.virtual_end_ns));
+    return 1;
+  }
+
+  const double speedup = fibers.events_per_sec() / threads.events_per_sec();
+  std::printf("fiber speedup: %.1fx (target: >= 5x)\n\n", speedup);
+
+  const std::string base = "engine/msgrate/" + std::to_string(pes) + "pe";
+  bench::add_wall_point(base + "/threads", threads.wall_s, threads.events);
+  bench::add_wall_point(base + "/fibers", fibers.wall_s, fibers.events);
+  bench::write_wall_json("engine", {{"speedup_fibers_vs_threads", speedup},
+                                    {"pes", static_cast<double>(pes)}});
+  std::printf("wrote BENCH_engine.json\n");
+
+  bench::register_wall_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -9,8 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gdrshmem::bench {
@@ -43,6 +47,83 @@ inline int report_and_run(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Wall-clock reporting.
+//
+// The paper-figure benches report *virtual* time (what the simulated
+// hardware would take); engine-efficiency benches report *wall* time (what
+// the simulation itself costs to run). Wall points carry an event count so
+// throughput (events/sec) is comparable across engine changes, and are
+// persisted as BENCH_<tag>.json so future PRs can track regressions.
+
+struct WallPoint {
+  std::string name;       // e.g. "engine/msgrate/fibers/64pe"
+  double wall_seconds = 0;
+  std::uint64_t events = 0;  // simulation events executed during the run
+
+  double events_per_sec() const {
+    return wall_seconds > 0 ? static_cast<double>(events) / wall_seconds : 0;
+  }
+};
+
+inline std::vector<WallPoint>& wall_points() {
+  static std::vector<WallPoint> pts;
+  return pts;
+}
+
+inline void add_wall_point(std::string name, double wall_seconds,
+                           std::uint64_t events) {
+  wall_points().push_back(WallPoint{std::move(name), wall_seconds, events});
+}
+
+/// Monotonic wall-clock stamp for measuring simulation cost.
+inline double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Write all registered wall points (plus caller-provided scalar metrics) to
+/// `BENCH_<tag>.json` in the working directory.
+inline void write_wall_json(
+    const std::string& tag,
+    const std::vector<std::pair<std::string, double>>& metrics = {}) {
+  std::ofstream os("BENCH_" + tag + ".json");
+  os << "{\n  \"bench\": \"" << tag << "\",\n  \"points\": [\n";
+  const auto& pts = wall_points();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
+                  "\"events\": %llu, \"events_per_sec\": %.1f}%s\n",
+                  pts[i].name.c_str(), pts[i].wall_seconds,
+                  static_cast<unsigned long long>(pts[i].events),
+                  pts[i].events_per_sec(), i + 1 < pts.size() ? "," : "");
+    os << buf;
+  }
+  os << "  ]";
+  for (const auto& [k, v] : metrics) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, ",\n  \"%s\": %.4f", k.c_str(), v);
+    os << buf;
+  }
+  os << "\n}\n";
+}
+
+/// Register every wall point as a manual-time benchmark entry (so engine
+/// benches appear in standard google-benchmark output too).
+inline void register_wall_benchmarks() {
+  for (const WallPoint& p : wall_points()) {
+    benchmark::RegisterBenchmark(p.name.c_str(), [p](benchmark::State& state) {
+      for (auto _ : state) {
+        state.SetIterationTime(p.wall_seconds);
+      }
+      state.counters["events_per_sec"] = p.events_per_sec();
+      state.counters["events"] = static_cast<double>(p.events);
+    })->UseManualTime()->Iterations(1);
+  }
 }
 
 /// Pretty size label (paper figures use powers of two).

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_engine_overhead.dir/bench_engine_overhead.cpp.o"
+  "CMakeFiles/bench_engine_overhead.dir/bench_engine_overhead.cpp.o.d"
+  "bench_engine_overhead"
+  "bench_engine_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

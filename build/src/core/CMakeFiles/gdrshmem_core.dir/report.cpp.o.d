@@ -211,21 +211,10 @@ src/core/CMakeFiles/gdrshmem_core.dir/report.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/heap.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/core/types.hpp \
  /root/repo/src/core/transport.hpp /root/repo/src/core/ctrl.hpp \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/limits /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
- /root/repo/src/sim/time.hpp /root/repo/src/core/trace.hpp \
+ /root/repo/src/sim/engine.hpp /root/repo/src/sim/callback.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/exec_backend.hpp /root/repo/src/sim/time.hpp \
+ /usr/include/c++/12/limits /root/repo/src/core/trace.hpp \
  /root/repo/src/core/tuning.hpp /root/repo/src/cudart/cudart.hpp \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
@@ -235,7 +224,7 @@ src/core/CMakeFiles/gdrshmem_core.dir/report.cpp.o: \
  /root/repo/src/hw/params.hpp /root/repo/src/sim/link.hpp \
  /root/repo/src/ib/verbs.hpp /root/repo/src/sim/future.hpp \
  /usr/include/c++/12/iomanip /usr/include/c++/12/locale \
- /usr/include/c++/12/bits/locale_facets_nonio.h \
+ /usr/include/c++/12/bits/locale_facets_nonio.h /usr/include/c++/12/ctime \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
  /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
@@ -244,5 +233,5 @@ src/core/CMakeFiles/gdrshmem_core.dir/report.cpp.o: \
  /usr/include/c++/12/bits/quoted_string.h /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/proxy.hpp \
- /root/repo/src/sim/mailbox.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/mailbox.hpp

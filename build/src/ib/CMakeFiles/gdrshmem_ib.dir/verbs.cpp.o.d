@@ -215,18 +215,7 @@ src/ib/CMakeFiles/gdrshmem_ib.dir/verbs.cpp.o: \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/hw/topology.hpp \
  /root/repo/src/hw/params.hpp /root/repo/src/sim/link.hpp \
  /root/repo/src/sim/time.hpp /usr/include/c++/12/limits \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
- /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
- /usr/include/c++/12/bits/atomic_timed_wait.h \
- /usr/include/c++/12/bits/this_thread_sleep.h \
- /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
- /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
- /root/repo/src/sim/future.hpp /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h
+ /root/repo/src/sim/engine.hpp /root/repo/src/sim/callback.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/exec_backend.hpp /root/repo/src/sim/future.hpp \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h

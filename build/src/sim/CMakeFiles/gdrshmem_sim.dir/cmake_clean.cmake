@@ -1,6 +1,10 @@
 file(REMOVE_RECURSE
   "CMakeFiles/gdrshmem_sim.dir/engine.cpp.o"
   "CMakeFiles/gdrshmem_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/gdrshmem_sim.dir/exec_fiber.cpp.o"
+  "CMakeFiles/gdrshmem_sim.dir/exec_fiber.cpp.o.d"
+  "CMakeFiles/gdrshmem_sim.dir/exec_thread.cpp.o"
+  "CMakeFiles/gdrshmem_sim.dir/exec_thread.cpp.o.d"
   "libgdrshmem_sim.a"
   "libgdrshmem_sim.pdb"
 )

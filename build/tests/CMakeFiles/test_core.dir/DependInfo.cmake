@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/atomics_test.cpp" "tests/CMakeFiles/test_core.dir/core/atomics_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/atomics_test.cpp.o.d"
+  "/root/repo/tests/core/determinism_test.cpp" "tests/CMakeFiles/test_core.dir/core/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/determinism_test.cpp.o.d"
   "/root/repo/tests/core/extended_api_test.cpp" "tests/CMakeFiles/test_core.dir/core/extended_api_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/extended_api_test.cpp.o.d"
   "/root/repo/tests/core/lock_test.cpp" "tests/CMakeFiles/test_core.dir/core/lock_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/lock_test.cpp.o.d"
   "/root/repo/tests/core/overlap_test.cpp" "tests/CMakeFiles/test_core.dir/core/overlap_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/overlap_test.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/test_core.dir/core/atomics_test.cpp.o"
   "CMakeFiles/test_core.dir/core/atomics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/determinism_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/determinism_test.cpp.o.d"
   "CMakeFiles/test_core.dir/core/extended_api_test.cpp.o"
   "CMakeFiles/test_core.dir/core/extended_api_test.cpp.o.d"
   "CMakeFiles/test_core.dir/core/lock_test.cpp.o"

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/determinism_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/determinism_test.cpp.o.d"
   "/root/repo/tests/sim/engine_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/engine_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/engine_test.cpp.o.d"
   "/root/repo/tests/sim/link_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/link_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/link_test.cpp.o.d"
   )

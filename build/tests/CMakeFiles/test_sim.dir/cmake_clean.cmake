@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/determinism_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/determinism_test.cpp.o.d"
   "CMakeFiles/test_sim.dir/sim/engine_test.cpp.o"
   "CMakeFiles/test_sim.dir/sim/engine_test.cpp.o.d"
   "CMakeFiles/test_sim.dir/sim/link_test.cpp.o"

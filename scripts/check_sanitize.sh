@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Build the sim/core tests under ASan+UBSan and run them under BOTH engine
+# execution backends. This is the guard for fiber stack bugs (overflow into
+# the guard page, use-after-unwind across swapcontext) and for the explicit
+# event-heap/pool code — run it after touching src/sim/.
+#
+# Usage: scripts/check_sanitize.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build build-asan -j --target test_sim test_core
+
+for backend in fibers threads; do
+  echo "== sanitized test_sim + test_core, GDRSHMEM_SIM_BACKEND=${backend} =="
+  GDRSHMEM_SIM_BACKEND=${backend} ./build-asan/tests/test_sim "$@"
+  GDRSHMEM_SIM_BACKEND=${backend} ./build-asan/tests/test_core "$@"
+done
+
+echo "sanitizer check passed for both backends"

@@ -10,6 +10,7 @@ namespace gdrshmem::core {
 
 Runtime::Runtime(const hw::ClusterConfig& cluster_cfg, const RuntimeOptions& opts)
     : opts_(opts),
+      engine_(opts.sim_backend),
       cluster_(cluster_cfg),
       cuda_(engine_, cluster_),
       verbs_(engine_, cluster_, cuda_) {

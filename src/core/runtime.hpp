@@ -31,6 +31,10 @@ struct RuntimeOptions {
   std::size_t gpu_heap_bytes = 16u << 20;
   TransportKind transport = TransportKind::kEnhancedGdr;
   Tuning tuning;
+  /// Execution backend for the simulation engine (fibers by default;
+  /// overridable per-process via GDRSHMEM_SIM_BACKEND). Both backends are
+  /// bit-identical in virtual time; threads is the slow fallback.
+  sim::BackendKind sim_backend = sim::backend_from_env();
   /// The alternative Section III-C rejects in favor of the proxy: a service
   /// thread per PE progresses incoming transfers asynchronously — restoring
   /// overlap for the baseline, but stealing CPU from the application

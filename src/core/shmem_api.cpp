@@ -1,28 +1,35 @@
 #include "core/shmem_api.hpp"
 
 #include "core/ctx.hpp"
+#include "sim/engine.hpp"
 
 namespace gdrshmem::capi {
 
-namespace {
-thread_local core::Ctx* g_ctx = nullptr;
-}
+// The binding lives in the simulated process's user slot rather than a
+// thread_local: under the fiber backend every PE shares the engine's OS
+// thread, so per-OS-thread state cannot tell PEs apart.
 
 Bind::Bind(core::Ctx& ctx) {
-  if (g_ctx != nullptr) {
+  proc_ = sim::Process::current();
+  if (proc_ == nullptr) {
+    throw core::ShmemError(
+        "capi::Bind must be created inside a PE body (process context)");
+  }
+  if (proc_->user_slot() != nullptr) {
     throw core::ShmemError("a C-API context is already bound on this PE");
   }
-  g_ctx = &ctx;
+  proc_->set_user_slot(&ctx);
 }
 
-Bind::~Bind() { g_ctx = nullptr; }
+Bind::~Bind() { proc_->set_user_slot(nullptr); }
 
 core::Ctx& current() {
-  if (g_ctx == nullptr) {
+  sim::Process* p = sim::Process::current();
+  if (p == nullptr || p->user_slot() == nullptr) {
     throw core::ShmemError(
         "no OpenSHMEM context bound: create a capi::Bind inside the PE body");
   }
-  return *g_ctx;
+  return *static_cast<core::Ctx*>(p->user_slot());
 }
 
 int shmem_my_pe() { return current().my_pe(); }

@@ -22,16 +22,24 @@
 namespace gdrshmem::core {
 class Ctx;
 }
+namespace gdrshmem::sim {
+class Process;
+}
 
 namespace gdrshmem::capi {
 
-/// RAII binder: installs `ctx` as the calling thread's current PE context.
+/// RAII binder: installs `ctx` as the calling simulated process's current PE
+/// context (keyed on the Process, so it works under both the fiber and the
+/// thread execution backend).
 class Bind {
  public:
   explicit Bind(core::Ctx& ctx);
   ~Bind();
   Bind(const Bind&) = delete;
   Bind& operator=(const Bind&) = delete;
+
+ private:
+  sim::Process* proc_;
 };
 
 /// The bound context (throws if none).

@@ -1,0 +1,104 @@
+// EventFn: a move-only callable with small-buffer storage, used for every
+// scheduled event in the engine.
+//
+// `std::function` heap-allocates for captures beyond ~2 words, which put one
+// malloc/free pair on the critical path of every simulated event. Engine
+// callbacks are almost always tiny ([&eng, p], [this, c], a couple of ints
+// and a shared_ptr), so a 64-byte inline buffer holds virtually all of them;
+// larger callables fall back to the heap transparently. Move-only is
+// deliberate — events are scheduled once and executed once.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gdrshmem::sim {
+
+class EventFn {
+ public:
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): intended sink type
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes && alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(buf_) = new Fn(std::forward<F>(f));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_) ops_->relocate(buf_, o.buf_);
+    o.ops_ = nullptr;
+  }
+
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_) ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    // Move the callable from `src` storage into `dst` storage and leave `src`
+    // destructed/released.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr Ops inline_ops = {
+      [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) noexcept { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops = {
+      [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); },
+      [](void* dst, void* src) noexcept {
+        *reinterpret_cast<Fn**>(dst) = *std::launder(reinterpret_cast<Fn**>(src));
+      },
+      [](void* p) noexcept { delete *std::launder(reinterpret_cast<Fn**>(p)); },
+  };
+
+  static constexpr std::size_t kInlineBytes = 64;
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace gdrshmem::sim

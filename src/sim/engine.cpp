@@ -1,9 +1,63 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
+#include <cstdlib>
 #include <sstream>
+#include <utility>
 
 namespace gdrshmem::sim {
+
+// ---------------------------------------------------------------------------
+// Backend selection
+
+BackendKind backend_from_env() {
+  const char* v = std::getenv("GDRSHMEM_SIM_BACKEND");
+  if (v == nullptr || *v == '\0') return BackendKind::kFibers;
+  std::string s(v);
+  if (s == "fibers") return BackendKind::kFibers;
+  if (s == "threads") return BackendKind::kThreads;
+  throw std::invalid_argument(
+      "GDRSHMEM_SIM_BACKEND must be 'fibers' or 'threads', got '" + s + "'");
+}
+
+const char* to_string(BackendKind k) {
+  return k == BackendKind::kFibers ? "fibers" : "threads";
+}
+
+std::unique_ptr<ExecutionBackend> make_backend(BackendKind k) {
+  return k == BackendKind::kFibers ? make_fiber_backend() : make_thread_backend();
+}
+
+// ---------------------------------------------------------------------------
+// ExecutionBackend shared helpers
+
+void ExecutionBackend::run_body(Process& p) {
+  try {
+    p.check_killed();
+    p.state_ = Process::State::kRunning;
+    p.body_(p);
+  } catch (const ProcessKilled&) {
+    // graceful daemon shutdown
+  } catch (...) {
+    // Surface the first process failure from Engine::run() instead of
+    // terminating the program when it escapes the process context.
+    if (!p.engine_->first_error_) {
+      p.engine_->first_error_ = std::current_exception();
+    }
+  }
+  p.body_ = nullptr;  // release captures as soon as the body is done
+  p.state_ = Process::State::kDone;
+}
+
+ProcessExec* ExecutionBackend::exec(Process& p) { return p.exec_.get(); }
+
+namespace {
+thread_local Process* t_current_process = nullptr;
+}
+
+void ExecutionBackend::set_current(Process* p) { t_current_process = p; }
+
+Process* Process::current() { return t_current_process; }
 
 // ---------------------------------------------------------------------------
 // Notification
@@ -25,19 +79,14 @@ void Notification::notify() {
 Process::Process(Engine& eng, std::string name, bool daemon)
     : engine_(&eng), name_(std::move(name)), daemon_(daemon) {}
 
-Process::~Process() {
-  if (thread_.joinable()) thread_.join();
-}
+Process::~Process() = default;
 
 void Process::check_killed() const {
   if (kill_requested_) throw ProcessKilled{};
 }
 
-void Process::yield_to_engine_locked(std::unique_lock<std::mutex>& lk) {
-  Engine& eng = *engine_;
-  eng.active_ = nullptr;
-  eng.engine_cv_.notify_all();
-  cv_.wait(lk, [&] { return eng.active_ == this; });
+void Process::yield_to_engine() {
+  engine_->backend_->yield(*this);
   check_killed();
 }
 
@@ -46,70 +95,87 @@ void Process::delay(Duration d) {
   if (d < Duration::zero()) throw std::invalid_argument("negative delay");
   Engine& eng = *engine_;
   eng.schedule_at(eng.now() + d, [&eng, this] { eng.run_process(*this); });
-  std::unique_lock lk(eng.mutex_);
   state_ = State::kReady;
-  yield_to_engine_locked(lk);
+  yield_to_engine();
   state_ = State::kRunning;
 }
 
 void Process::await(Notification& n) {
   check_killed();
-  Engine& eng = *engine_;
   n.waiters_.push_back(this);
-  std::unique_lock lk(eng.mutex_);
   state_ = State::kBlocked;
-  yield_to_engine_locked(lk);
+  yield_to_engine();
   state_ = State::kRunning;
 }
 
 // ---------------------------------------------------------------------------
 // Engine
 
+Engine::Engine(BackendKind backend) : backend_(make_backend(backend)) {}
+
 Engine::~Engine() {
   shutdown_daemons();
   // Any remaining non-daemon processes that never finished (e.g. after a
   // DeadlockError was thrown to the caller) must also be released so their
-  // threads can be joined.
+  // execution contexts can be unwound and reclaimed.
   for (auto& p : processes_) {
     if (p->state_ != Process::State::kDone) kill_process(*p);
   }
 }
 
-void Engine::schedule_at(Time at, std::function<void()> fn) {
+void Engine::heap_push(HeapEntry e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (!sooner(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Engine::HeapEntry Engine::heap_pop() {
+  assert(!heap_.empty());
+  HeapEntry top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  while (true) {
+    std::size_t l = 2 * i + 1;
+    std::size_t m = i;
+    if (l < n && sooner(heap_[l], heap_[m])) m = l;
+    if (l + 1 < n && sooner(heap_[l + 1], heap_[m])) m = l + 1;
+    if (m == i) break;
+    std::swap(heap_[i], heap_[m]);
+    i = m;
+  }
+  return top;
+}
+
+void Engine::schedule_at(Time at, EventFn fn) {
   if (at < now_) throw std::invalid_argument("schedule_at in the past");
-  events_.push(Event{at, next_seq_++, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  }
+  heap_push(HeapEntry{at, next_seq_++, slot});
 }
 
 Process& Engine::spawn(std::string name, std::function<void(Process&)> body,
                        bool daemon) {
-  // Process is neither copyable nor movable (it owns a condition_variable),
-  // so construct it in place; Engine is a friend of the private constructor.
+  // Process is neither copyable nor movable, so construct it in place;
+  // Engine is a friend of the private constructor.
   processes_.push_back(
       std::unique_ptr<Process>(new Process(*this, std::move(name), daemon)));
   Process& p = *processes_.back();
-
-  p.thread_ = std::thread([this, &p, body = std::move(body)] {
-    {
-      // Wait for the engine to hand us the baton for the first time.
-      std::unique_lock lk(mutex_);
-      p.cv_.wait(lk, [&] { return active_ == &p; });
-    }
-    try {
-      p.check_killed();
-      p.state_ = Process::State::kRunning;
-      body(p);
-    } catch (const ProcessKilled&) {
-      // graceful daemon shutdown
-    } catch (...) {
-      // Surface the first process failure from Engine::run() instead of
-      // terminating the program when it escapes the thread.
-      if (!first_error_) first_error_ = std::current_exception();
-    }
-    std::unique_lock lk(mutex_);
-    p.state_ = Process::State::kDone;
-    active_ = nullptr;
-    engine_cv_.notify_all();
-  });
+  p.body_ = std::move(body);
+  p.exec_ = backend_->create(p);
 
   schedule_at(now_, [this, &p] { run_process(p); });
   p.state_ = Process::State::kReady;
@@ -118,31 +184,26 @@ Process& Engine::spawn(std::string name, std::function<void(Process&)> body,
 
 void Engine::run_process(Process& p) {
   if (p.state_ == Process::State::kDone) return;
-  std::unique_lock lk(mutex_);
-  active_ = &p;
-  p.cv_.notify_all();
-  engine_cv_.wait(lk, [&] { return active_ == nullptr; });
+  backend_->resume(p);
 }
 
 void Engine::kill_process(Process& p) {
   if (p.state_ == Process::State::kDone) return;
   p.kill_requested_ = true;
-  std::unique_lock lk(mutex_);
-  active_ = &p;
-  p.cv_.notify_all();
-  engine_cv_.wait(lk, [&] { return active_ == nullptr; });
+  backend_->resume(p);
   assert(p.state_ == Process::State::kDone);
 }
 
 void Engine::run() {
   if (running_) throw std::logic_error("Engine::run is not reentrant");
   running_ = true;
-  while (!events_.empty()) {
-    Event ev = std::move(const_cast<Event&>(events_.top()));
-    events_.pop();
-    now_ = ev.at;
+  while (!heap_.empty()) {
+    HeapEntry e = heap_pop();
+    EventFn fn = std::move(slots_[e.slot]);
+    free_slots_.push_back(e.slot);
+    now_ = e.at;
     ++events_executed_;
-    ev.fn();
+    fn();
   }
   running_ = false;
 
@@ -168,7 +229,7 @@ void Engine::run() {
     std::ostringstream os;
     os << "simulation deadlock: " << stuck.size() << " process(es) blocked forever:";
     for (const auto& n : stuck) os << ' ' << n;
-    // Release the stuck processes so their threads can exit before throwing.
+    // Release the stuck processes so their contexts can unwind before throwing.
     for (auto& p : processes_) {
       if (p->state_ != Process::State::kDone) kill_process(*p);
     }

@@ -2,29 +2,33 @@
 // processes.
 //
 // Each simulated processing element (PE), proxy daemon, or service runs as a
-// `Process`: a dedicated OS thread that is scheduled cooperatively — exactly
-// one thread (either the engine or one process) executes at any instant, and
-// control transfers only at explicit wait points. This gives:
+// `Process`: a cooperative thread of control that is scheduled so that
+// exactly one context (either the engine or one process) executes at any
+// instant, with control transferring only at explicit wait points. This
+// gives:
 //   * determinism: event order is (time, sequence-number) and handoffs are
 //     strictly serialized, so every run is bit-identical;
 //   * simplicity: functional state (heaps, queues) needs no locking.
+//
+// *How* control transfers is pluggable (see exec_backend.hpp): user-space
+// fibers by default, one-OS-thread-per-process as a fallback — selected by
+// GDRSHMEM_SIM_BACKEND=fibers|threads or the Engine constructor. Both
+// backends produce identical virtual-time results.
 //
 // Timing is virtual: `Process::delay()` advances the simulated clock without
 // consuming wall time beyond the handoff cost.
 #pragma once
 
-#include <condition_variable>
-#include <exception>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <queue>
 #include <stdexcept>
 #include <string>
-#include <thread>
 #include <vector>
 
+#include "sim/callback.hpp"
+#include "sim/exec_backend.hpp"
 #include "sim/time.hpp"
 
 namespace gdrshmem::sim {
@@ -33,7 +37,7 @@ class Engine;
 class Process;
 
 /// Thrown inside a daemon process when the engine shuts it down; the process
-/// body should let it propagate.
+/// body should let it propagate (it unwinds the process's stack).
 struct ProcessKilled {};
 
 /// Thrown by Engine::run() when no event is pending but non-daemon processes
@@ -68,7 +72,18 @@ class Process {
   const std::string& name() const { return name_; }
   Engine& engine() const { return *engine_; }
 
-  /// Advance virtual time by `d` (callable only from this process's thread).
+  /// The process whose context is currently executing, or nullptr when the
+  /// caller is in engine/event context. Works under both backends — with
+  /// fibers every process shares the engine's OS thread, so per-OS-thread
+  /// state cannot identify the running PE; use this instead.
+  static Process* current();
+
+  /// Arbitrary per-process slot for layered APIs (e.g. the C-API context
+  /// binding). The engine does not interpret it.
+  void* user_slot() const { return user_slot_; }
+  void set_user_slot(void* v) { user_slot_ = v; }
+
+  /// Advance virtual time by `d` (callable only from this process's context).
   void delay(Duration d);
 
   /// Block until `n` is notified.
@@ -84,9 +99,12 @@ class Process {
  private:
   friend class Engine;
   friend class Notification;
+  friend class ExecutionBackend;
   Process(Engine& eng, std::string name, bool daemon);
 
-  void yield_to_engine_locked(std::unique_lock<std::mutex>& lk);
+  /// Hand control back to the engine; throws ProcessKilled on wakeup if a
+  /// kill was requested while we were out.
+  void yield_to_engine();
   void check_killed() const;
 
   Engine* engine_;
@@ -94,24 +112,27 @@ class Process {
   bool daemon_;
   bool kill_requested_ = false;
   enum class State { kCreated, kReady, kRunning, kBlocked, kDone } state_ = State::kCreated;
-  std::thread thread_;
-  std::condition_variable cv_;
+  std::function<void(Process&)> body_;
+  std::unique_ptr<ProcessExec> exec_;
+  void* user_slot_ = nullptr;
 };
 
-/// The event loop. Owns all processes and the pending-event queue.
+/// The event loop. Owns all processes, the pending-event heap, and the
+/// execution backend.
 class Engine {
  public:
-  Engine() = default;
+  explicit Engine(BackendKind backend = backend_from_env());
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
 
   Time now() const { return now_; }
+  BackendKind backend_kind() const { return backend_->kind(); }
 
   /// Schedule `fn` to run in engine context at absolute time `at`
   /// (must be >= now()). Events at equal times run in scheduling order.
-  void schedule_at(Time at, std::function<void()> fn);
-  void schedule_after(Duration d, std::function<void()> fn) {
+  void schedule_at(Time at, EventFn fn);
+  void schedule_after(Duration d, EventFn fn) {
     schedule_at(now_ + d, std::move(fn));
   }
 
@@ -126,7 +147,7 @@ class Engine {
   /// exception a process body raised, after releasing everything blocked.
   void run();
 
-  /// Kill and join all daemon processes (also done by run() on completion).
+  /// Kill and unwind all daemon processes (also done by run() on completion).
   void shutdown_daemons();
 
   /// Number of events executed so far (diagnostic).
@@ -135,34 +156,41 @@ class Engine {
  private:
   friend class Process;
   friend class Notification;
+  friend class ExecutionBackend;
 
-  struct Event {
+  // Pending events live in a slot pool (`slots_` + `free_slots_`) so the
+  // callback storage is recycled instead of reallocated, and the ordering
+  // heap holds only lightweight {time, seq, slot} entries. The heap is an
+  // explicit binary min-heap over a vector: unlike std::priority_queue it
+  // allows extracting the top element by move (no const_cast), and its
+  // entries are 24 bytes so sift operations stay cache-friendly. Order is
+  // the strict total order (at, seq) — heap layout can never affect pop
+  // order, which keeps runs bit-identical across backends.
+  struct HeapEntry {
     Time at;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
-    }
-  };
+  static bool sooner(const HeapEntry& a, const HeapEntry& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  }
+  void heap_push(HeapEntry e);
+  HeapEntry heap_pop();
 
-  // Runs `p` (engine context) until it yields back; engine thread blocks
-  // meanwhile. All handoffs serialize on mutex_.
+  // Runs `p` (engine context) until it yields back; the engine context is
+  // suspended meanwhile.
   void run_process(Process& p);
   void kill_process(Process& p);
 
+  std::unique_ptr<ExecutionBackend> backend_;
   Time now_ = Time::zero();
   std::exception_ptr first_error_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+  std::vector<HeapEntry> heap_;
+  std::vector<EventFn> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::vector<std::unique_ptr<Process>> processes_;
-
-  // Handoff machinery: `active_` designates who may run (nullptr = engine).
-  std::mutex mutex_;
-  std::condition_variable engine_cv_;
-  Process* active_ = nullptr;
   bool running_ = false;
 };
 

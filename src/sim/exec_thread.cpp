@@ -1,0 +1,80 @@
+// Thread execution backend: one OS thread per process, handed a baton
+// through a mutex/condvar pair. Exactly one thread (engine or one process)
+// runs at any instant; every handoff costs two kernel context switches.
+//
+// This was the original engine implementation; it is kept as a fallback and
+// as the reference the fiber backend is cross-checked against for
+// determinism (both must produce bit-identical virtual-time results).
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "sim/engine.hpp"
+#include "sim/exec_backend.hpp"
+
+namespace gdrshmem::sim {
+namespace {
+
+class ThreadBackend;
+
+struct ThreadExec final : ProcessExec {
+  std::thread thread;
+  std::condition_variable cv;
+
+  ~ThreadExec() override {
+    if (thread.joinable()) thread.join();
+  }
+};
+
+class ThreadBackend final : public ExecutionBackend {
+ public:
+  BackendKind kind() const override { return BackendKind::kThreads; }
+
+  std::unique_ptr<ProcessExec> create(Process& p) override {
+    auto ex = std::make_unique<ThreadExec>();
+    ThreadExec* t = ex.get();
+    t->thread = std::thread([this, &p, t] {
+      set_current(&p);  // this OS thread belongs to `p` for its whole life
+      {
+        // Wait for the engine to hand us the baton for the first time.
+        std::unique_lock lk(mutex_);
+        t->cv.wait(lk, [&] { return active_ == &p; });
+      }
+      run_body(p);
+      std::unique_lock lk(mutex_);
+      active_ = nullptr;
+      engine_cv_.notify_all();
+    });
+    return ex;
+  }
+
+  void resume(Process& p) override {
+    auto* t = static_cast<ThreadExec*>(exec(p));
+    std::unique_lock lk(mutex_);
+    active_ = &p;
+    t->cv.notify_all();
+    engine_cv_.wait(lk, [&] { return active_ == nullptr; });
+  }
+
+  void yield(Process& p) override {
+    auto* t = static_cast<ThreadExec*>(exec(p));
+    std::unique_lock lk(mutex_);
+    active_ = nullptr;
+    engine_cv_.notify_all();
+    t->cv.wait(lk, [&] { return active_ == &p; });
+  }
+
+ private:
+  // Handoff machinery: `active_` designates who may run (nullptr = engine).
+  std::mutex mutex_;
+  std::condition_variable engine_cv_;
+  Process* active_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<ExecutionBackend> make_thread_backend() {
+  return std::make_unique<ThreadBackend>();
+}
+
+}  // namespace gdrshmem::sim
