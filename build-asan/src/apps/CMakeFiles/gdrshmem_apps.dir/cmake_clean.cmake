@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdrshmem_apps.dir/lbm.cpp.o"
+  "CMakeFiles/gdrshmem_apps.dir/lbm.cpp.o.d"
+  "CMakeFiles/gdrshmem_apps.dir/stencil2d.cpp.o"
+  "CMakeFiles/gdrshmem_apps.dir/stencil2d.cpp.o.d"
+  "libgdrshmem_apps.a"
+  "libgdrshmem_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdrshmem_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

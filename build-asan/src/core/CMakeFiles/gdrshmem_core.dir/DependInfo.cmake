@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/atomics.cpp" "src/core/CMakeFiles/gdrshmem_core.dir/atomics.cpp.o" "gcc" "src/core/CMakeFiles/gdrshmem_core.dir/atomics.cpp.o.d"
+  "/root/repo/src/core/ctx.cpp" "src/core/CMakeFiles/gdrshmem_core.dir/ctx.cpp.o" "gcc" "src/core/CMakeFiles/gdrshmem_core.dir/ctx.cpp.o.d"
+  "/root/repo/src/core/enhanced_gdr.cpp" "src/core/CMakeFiles/gdrshmem_core.dir/enhanced_gdr.cpp.o" "gcc" "src/core/CMakeFiles/gdrshmem_core.dir/enhanced_gdr.cpp.o.d"
+  "/root/repo/src/core/host_pipeline.cpp" "src/core/CMakeFiles/gdrshmem_core.dir/host_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/gdrshmem_core.dir/host_pipeline.cpp.o.d"
+  "/root/repo/src/core/lock.cpp" "src/core/CMakeFiles/gdrshmem_core.dir/lock.cpp.o" "gcc" "src/core/CMakeFiles/gdrshmem_core.dir/lock.cpp.o.d"
+  "/root/repo/src/core/naive.cpp" "src/core/CMakeFiles/gdrshmem_core.dir/naive.cpp.o" "gcc" "src/core/CMakeFiles/gdrshmem_core.dir/naive.cpp.o.d"
+  "/root/repo/src/core/proxy.cpp" "src/core/CMakeFiles/gdrshmem_core.dir/proxy.cpp.o" "gcc" "src/core/CMakeFiles/gdrshmem_core.dir/proxy.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/gdrshmem_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/gdrshmem_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/gdrshmem_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/gdrshmem_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/shmem_api.cpp" "src/core/CMakeFiles/gdrshmem_core.dir/shmem_api.cpp.o" "gcc" "src/core/CMakeFiles/gdrshmem_core.dir/shmem_api.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/gdrshmem_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/gdrshmem_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/ib/CMakeFiles/gdrshmem_ib.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cudart/CMakeFiles/gdrshmem_cudart.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hw/CMakeFiles/gdrshmem_hw.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/gdrshmem_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

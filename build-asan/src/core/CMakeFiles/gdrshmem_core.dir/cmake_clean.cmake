@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdrshmem_core.dir/atomics.cpp.o"
+  "CMakeFiles/gdrshmem_core.dir/atomics.cpp.o.d"
+  "CMakeFiles/gdrshmem_core.dir/ctx.cpp.o"
+  "CMakeFiles/gdrshmem_core.dir/ctx.cpp.o.d"
+  "CMakeFiles/gdrshmem_core.dir/enhanced_gdr.cpp.o"
+  "CMakeFiles/gdrshmem_core.dir/enhanced_gdr.cpp.o.d"
+  "CMakeFiles/gdrshmem_core.dir/host_pipeline.cpp.o"
+  "CMakeFiles/gdrshmem_core.dir/host_pipeline.cpp.o.d"
+  "CMakeFiles/gdrshmem_core.dir/lock.cpp.o"
+  "CMakeFiles/gdrshmem_core.dir/lock.cpp.o.d"
+  "CMakeFiles/gdrshmem_core.dir/naive.cpp.o"
+  "CMakeFiles/gdrshmem_core.dir/naive.cpp.o.d"
+  "CMakeFiles/gdrshmem_core.dir/proxy.cpp.o"
+  "CMakeFiles/gdrshmem_core.dir/proxy.cpp.o.d"
+  "CMakeFiles/gdrshmem_core.dir/report.cpp.o"
+  "CMakeFiles/gdrshmem_core.dir/report.cpp.o.d"
+  "CMakeFiles/gdrshmem_core.dir/runtime.cpp.o"
+  "CMakeFiles/gdrshmem_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/gdrshmem_core.dir/shmem_api.cpp.o"
+  "CMakeFiles/gdrshmem_core.dir/shmem_api.cpp.o.d"
+  "CMakeFiles/gdrshmem_core.dir/trace.cpp.o"
+  "CMakeFiles/gdrshmem_core.dir/trace.cpp.o.d"
+  "libgdrshmem_core.a"
+  "libgdrshmem_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdrshmem_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdrshmem_cudart.dir/cudart.cpp.o"
+  "CMakeFiles/gdrshmem_cudart.dir/cudart.cpp.o.d"
+  "libgdrshmem_cudart.a"
+  "libgdrshmem_cudart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdrshmem_cudart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdrshmem_hw.dir/topology.cpp.o"
+  "CMakeFiles/gdrshmem_hw.dir/topology.cpp.o.d"
+  "libgdrshmem_hw.a"
+  "libgdrshmem_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdrshmem_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdrshmem_ib.dir/verbs.cpp.o"
+  "CMakeFiles/gdrshmem_ib.dir/verbs.cpp.o.d"
+  "libgdrshmem_ib.a"
+  "libgdrshmem_ib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdrshmem_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for gdrshmem_ib.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdrshmem_omb.dir/omb.cpp.o"
+  "CMakeFiles/gdrshmem_omb.dir/omb.cpp.o.d"
+  "libgdrshmem_omb.a"
+  "libgdrshmem_omb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdrshmem_omb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for gdrshmem_omb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdrshmem_sim.dir/engine.cpp.o"
+  "CMakeFiles/gdrshmem_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/gdrshmem_sim.dir/exec_fiber.cpp.o"
+  "CMakeFiles/gdrshmem_sim.dir/exec_fiber.cpp.o.d"
+  "CMakeFiles/gdrshmem_sim.dir/exec_thread.cpp.o"
+  "CMakeFiles/gdrshmem_sim.dir/exec_thread.cpp.o.d"
+  "libgdrshmem_sim.a"
+  "libgdrshmem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdrshmem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/atomics_test.cpp" "tests/CMakeFiles/test_core.dir/core/atomics_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/atomics_test.cpp.o.d"
+  "/root/repo/tests/core/determinism_test.cpp" "tests/CMakeFiles/test_core.dir/core/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/determinism_test.cpp.o.d"
+  "/root/repo/tests/core/extended_api_test.cpp" "tests/CMakeFiles/test_core.dir/core/extended_api_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/extended_api_test.cpp.o.d"
+  "/root/repo/tests/core/lock_test.cpp" "tests/CMakeFiles/test_core.dir/core/lock_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/lock_test.cpp.o.d"
+  "/root/repo/tests/core/overlap_test.cpp" "tests/CMakeFiles/test_core.dir/core/overlap_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/overlap_test.cpp.o.d"
+  "/root/repo/tests/core/property_test.cpp" "tests/CMakeFiles/test_core.dir/core/property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/property_test.cpp.o.d"
+  "/root/repo/tests/core/protocol_test.cpp" "tests/CMakeFiles/test_core.dir/core/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/protocol_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/rma_matrix_test.cpp" "tests/CMakeFiles/test_core.dir/core/rma_matrix_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/rma_matrix_test.cpp.o.d"
+  "/root/repo/tests/core/runtime_test.cpp" "tests/CMakeFiles/test_core.dir/core/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/runtime_test.cpp.o.d"
+  "/root/repo/tests/core/service_thread_test.cpp" "tests/CMakeFiles/test_core.dir/core/service_thread_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/service_thread_test.cpp.o.d"
+  "/root/repo/tests/core/sync_test.cpp" "tests/CMakeFiles/test_core.dir/core/sync_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sync_test.cpp.o.d"
+  "/root/repo/tests/core/trace_test.cpp" "tests/CMakeFiles/test_core.dir/core/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/gdrshmem_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ib/CMakeFiles/gdrshmem_ib.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cudart/CMakeFiles/gdrshmem_cudart.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hw/CMakeFiles/gdrshmem_hw.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/gdrshmem_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

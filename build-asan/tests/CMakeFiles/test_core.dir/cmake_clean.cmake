@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/atomics_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/atomics_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/determinism_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/determinism_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/extended_api_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/extended_api_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/lock_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/lock_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/overlap_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/overlap_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/property_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/property_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/protocol_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/protocol_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/rma_matrix_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/rma_matrix_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/runtime_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/runtime_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/service_thread_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/service_thread_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sync_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sync_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/trace_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/trace_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cudart/cudart_test.cpp" "tests/CMakeFiles/test_cudart.dir/cudart/cudart_test.cpp.o" "gcc" "tests/CMakeFiles/test_cudart.dir/cudart/cudart_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/ib/CMakeFiles/gdrshmem_ib.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cudart/CMakeFiles/gdrshmem_cudart.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hw/CMakeFiles/gdrshmem_hw.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/gdrshmem_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

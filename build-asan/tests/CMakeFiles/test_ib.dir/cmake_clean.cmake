@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ib.dir/ib/verbs_test.cpp.o"
+  "CMakeFiles/test_ib.dir/ib/verbs_test.cpp.o.d"
+  "test_ib"
+  "test_ib.pdb"
+  "test_ib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omb.dir/omb/omb_test.cpp.o"
+  "CMakeFiles/test_omb.dir/omb/omb_test.cpp.o.d"
+  "test_omb"
+  "test_omb.pdb"
+  "test_omb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_hw[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_cudart[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_ib[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_core[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_omb[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_apps[1]_include.cmake")
