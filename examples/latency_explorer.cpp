@@ -59,7 +59,10 @@ int main(int argc, char** argv) {
       return 0;
     }
     // Trace mode: run one op per size with the tracer on, emit CSV.
-    core::RuntimeOptions opts;
+    // Options seed from the environment, so e.g.
+    //   GDRSHMEM_FAULTS='seed=7,wire_error_rate=1e-3' ./latency_explorer ... --trace
+    // shows retransmit/replay events in the CSV and counters in the report.
+    core::RuntimeOptions opts = core::RuntimeOptions::from_env();
     opts.transport = cfg.transport;
     opts.host_heap_bytes = opts.gpu_heap_bytes = 16u << 20;
     hw::ClusterConfig cluster;

@@ -1,11 +1,11 @@
 // Quickstart: GPU-domain symmetric allocation and one-sided puts around a
-// ring — the smallest end-to-end program using the classic OpenSHMEM C API
+// ring — the smallest end-to-end program using the OpenSHMEM 1.4 C API
 // on a simulated 4-node GPU cluster.
 //
 //   $ ./quickstart
 //
 // Each PE allocates a symmetric buffer on its GPU with the paper's
-// shmalloc(size, domain) extension, puts a message into its right
+// shmem_malloc(size, domain) extension, puts a message into its right
 // neighbor's GPU memory, flags it, and verifies what it received.
 #include <cstdio>
 #include <cstring>
@@ -28,15 +28,16 @@ int main() {
 
   core::Runtime rt(cluster, opts);
   rt.run([](core::Ctx& ctx) {
-    Bind bind(ctx);  // enable the classic shmem_* calls on this PE
+    Bind bind(ctx);  // enable the shmem_* calls on this PE
 
     const int me = shmem_my_pe();
     const int np = shmem_n_pes();
     const int right = (me + 1) % np;
 
     // Symmetric allocation on the GPU domain — the paper's extension.
-    char* inbox = static_cast<char*>(shmalloc(64, core::Domain::kGpu));
-    auto* flag = static_cast<long long*>(shmalloc(sizeof(long long)));
+    char* inbox = static_cast<char*>(shmem_malloc(64, core::Domain::kGpu));
+    auto* flag = static_cast<long long*>(
+        shmem_calloc(1, sizeof(long long)));
 
     char message[64];
     std::snprintf(message, sizeof message, "hello from PE %d's GPU", me);

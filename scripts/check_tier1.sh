@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the exact configure/build/ctest sequence CI runs, followed by
+# the sanitizer sweep. Run this before merging anything that touches src/.
+#
+# Usage: scripts/check_tier1.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j "$@")
+
+scripts/check_sanitize.sh
+
+echo "tier-1 check passed"

@@ -21,6 +21,18 @@ std::uint64_t* resolve_word(Runtime& rt, int owner_pe, int target_pe,
   return static_cast<std::uint64_t*>(remote);
 }
 
+/// Post a hardware atomic and wait for it. Under a fault plan an error
+/// completion means the request was lost *before* the RMW executed, so
+/// re-posting the identical descriptor is exact (never double-applies).
+void await_atomic(Ctx& ctx, const std::function<sim::CompletionPtr()>& post) {
+  auto comp = post();
+  if (!ctx.runtime().faults_enabled()) {
+    comp->wait(ctx.proc());
+    return;
+  }
+  ctx.await_reliable(ctx.proc(), std::move(comp), post);
+}
+
 }  // namespace
 
 std::int64_t Ctx::atomic_fetch_add(std::int64_t* sym, std::int64_t value, int pe) {
@@ -29,9 +41,10 @@ std::int64_t Ctx::atomic_fetch_add(std::int64_t* sym, std::int64_t value, int pe
   proc().delay(Duration::us(rt_->cluster().params().shmem_sw_overhead_us));
   std::uint64_t* word = resolve_word(*rt_, pe_, pe, sym);
   std::uint64_t old = 0;
-  rt_->verbs()
-      .atomic_fadd64(proc(), pe_, pe, word, static_cast<std::uint64_t>(value), &old)
-      ->wait(proc());
+  await_atomic(*this, [&] {
+    return rt_->verbs().atomic_fadd64(proc(), pe_, pe, word,
+                                      static_cast<std::uint64_t>(value), &old);
+  });
   return static_cast<std::int64_t>(old);
 }
 
@@ -46,10 +59,11 @@ std::int64_t Ctx::atomic_compare_swap(std::int64_t* sym, std::int64_t cond,
   proc().delay(Duration::us(rt_->cluster().params().shmem_sw_overhead_us));
   std::uint64_t* word = resolve_word(*rt_, pe_, pe, sym);
   std::uint64_t old = 0;
-  rt_->verbs()
-      .atomic_cswap64(proc(), pe_, pe, word, static_cast<std::uint64_t>(cond),
-                      static_cast<std::uint64_t>(value), &old)
-      ->wait(proc());
+  await_atomic(*this, [&] {
+    return rt_->verbs().atomic_cswap64(proc(), pe_, pe, word,
+                                       static_cast<std::uint64_t>(cond),
+                                       static_cast<std::uint64_t>(value), &old);
+  });
   return static_cast<std::int64_t>(old);
 }
 
@@ -95,7 +109,9 @@ std::int32_t Ctx::atomic_fetch_add32(std::int32_t* sym, std::int32_t value, int 
     // Fetch the current word (fadd 0), splice the updated lane, CAS it in.
     std::uint64_t cur = 0;
     count_protocol(Protocol::kAtomicHw, 8);
-    rt_->verbs().atomic_fadd64(proc(), pe_, pe, lane.word, 0, &cur)->wait(proc());
+    await_atomic(*this, [&] {
+      return rt_->verbs().atomic_fadd64(proc(), pe_, pe, lane.word, 0, &cur);
+    });
     auto lane_val = static_cast<std::uint32_t>((cur & mask) >> lane.shift);
     auto updated = static_cast<std::uint32_t>(
         static_cast<std::int32_t>(lane_val) + value);
@@ -103,9 +119,10 @@ std::int32_t Ctx::atomic_fetch_add32(std::int32_t* sym, std::int32_t value, int 
         (cur & ~mask) | (static_cast<std::uint64_t>(updated) << lane.shift);
     std::uint64_t old = 0;
     count_protocol(Protocol::kAtomicHw, 8);
-    rt_->verbs()
-        .atomic_cswap64(proc(), pe_, pe, lane.word, cur, desired, &old)
-        ->wait(proc());
+    await_atomic(*this, [&] {
+      return rt_->verbs().atomic_cswap64(proc(), pe_, pe, lane.word, cur,
+                                         desired, &old);
+    });
     if (old == cur) return static_cast<std::int32_t>(lane_val);
     // Another PE raced us (possibly on the sibling lane): retry.
   }
@@ -120,7 +137,9 @@ std::int32_t Ctx::atomic_compare_swap32(std::int32_t* sym, std::int32_t cond,
   while (true) {
     std::uint64_t cur = 0;
     count_protocol(Protocol::kAtomicHw, 8);
-    rt_->verbs().atomic_fadd64(proc(), pe_, pe, lane.word, 0, &cur)->wait(proc());
+    await_atomic(*this, [&] {
+      return rt_->verbs().atomic_fadd64(proc(), pe_, pe, lane.word, 0, &cur);
+    });
     auto lane_val = static_cast<std::uint32_t>((cur & mask) >> lane.shift);
     if (static_cast<std::int32_t>(lane_val) != cond) {
       return static_cast<std::int32_t>(lane_val);  // compare failed: no swap
@@ -130,9 +149,10 @@ std::int32_t Ctx::atomic_compare_swap32(std::int32_t* sym, std::int32_t cond,
         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(value)) << lane.shift);
     std::uint64_t old = 0;
     count_protocol(Protocol::kAtomicHw, 8);
-    rt_->verbs()
-        .atomic_cswap64(proc(), pe_, pe, lane.word, cur, desired, &old)
-        ->wait(proc());
+    await_atomic(*this, [&] {
+      return rt_->verbs().atomic_cswap64(proc(), pe_, pe, lane.word, cur,
+                                         desired, &old);
+    });
     if (old == cur) return static_cast<std::int32_t>(lane_val);
   }
 }

@@ -160,11 +160,67 @@ void Ctx::put_sync(void* dst_sym, const void* src, std::size_t n, int pe) {
 }
 
 void Ctx::quiet() {
-  wait_for([&] {
-    std::erase_if(pending_, [](const sim::CompletionPtr& c) { return c->done(); });
-    return pending_.empty();
-  });
+  if (!rt_->faults_enabled()) {
+    // Healthy fabric: completions only ever fire successfully.
+    wait_for([&] {
+      std::erase_if(pending_, [](const PendingOp& p) { return p.comp->done(); });
+      return pending_.empty();
+    });
+  } else {
+    wait_for([&] {
+      recover_pending();
+      std::erase_if(pending_, [](const PendingOp& p) { return p.comp->ok(); });
+      return pending_.empty();
+    });
+  }
   snapshots_.clear();
+}
+
+sim::Duration Ctx::replay_backoff(int replays) const {
+  const Tuning& t = rt_->tuning();
+  int exp = std::min(replays - 1, 16);
+  double us = t.replay_backoff_base_us * static_cast<double>(1u << exp);
+  return Duration::us(std::min(us, t.replay_backoff_cap_us));
+}
+
+void Ctx::recover_pending() {
+  for (PendingOp& p : pending_) {
+    if (!p.comp->failed()) continue;
+    if (!p.repost) {
+      throw ShmemError("pe " + std::to_string(pe_) +
+                       ": non-replayable operation failed permanently");
+    }
+    if (++p.replays > rt_->tuning().max_sw_replays) {
+      throw ShmemError("pe " + std::to_string(pe_) +
+                       ": operation still failing after " +
+                       std::to_string(rt_->tuning().max_sw_replays) +
+                       " software replays");
+    }
+    proc().delay(replay_backoff(p.replays));
+    rt_->faults().on_event(sim::FaultEvent::kSwReplay, pe_);
+    p.comp = p.repost();
+  }
+}
+
+sim::CompletionPtr Ctx::await_reliable(
+    sim::Process& worker, sim::CompletionPtr comp,
+    const std::function<sim::CompletionPtr()>& repost) {
+  comp->wait(worker);
+  if (!rt_->faults_enabled()) return comp;
+  int replays = 0;
+  while (comp->failed()) {
+    if (++replays > rt_->tuning().max_sw_replays) {
+      throw ShmemError("pe " + std::to_string(pe_) +
+                       ": operation still failing after " +
+                       std::to_string(rt_->tuning().max_sw_replays) +
+                       " software replays");
+    }
+    worker.delay(replay_backoff(replays));
+    rt_->faults().on_event(sim::FaultEvent::kSwReplay, pe_);
+    comp = repost();
+    comp->wait(worker);
+  }
+  return comp;
 }
 
 void Ctx::progress() {

@@ -248,6 +248,21 @@ class Ctx {
       proc().await(progress_note_);
     }
   }
+  /// wait_for with a give-up instant: returns false if `pred` still does not
+  /// hold at `deadline`. Schedules one wake event at the deadline, so it is
+  /// reserved for fault-recovery paths (proxy request timeouts).
+  template <typename Pred>
+  bool wait_for_deadline(Pred&& pred, sim::Time deadline) {
+    rt_->engine().schedule_at(sim::max(deadline, now()),
+                              [this] { notify_progress(); });
+    while (true) {
+      progress();
+      if (pred()) return true;
+      if (now() >= deadline) return false;
+      if (!rx_.empty()) continue;
+      proc().await(progress_note_);
+    }
+  }
   void progress();
   void notify_progress() { progress_note_.notify(); }
   /// Account an operation under `proto` (runtime-wide stats + per-PE note
@@ -258,7 +273,26 @@ class Ctx {
   }
   Protocol last_protocol() const { return last_protocol_; }
   sim::Mailbox<CtrlMsg>& rx() { return rx_; }
-  void track(sim::CompletionPtr c) { pending_.push_back(std::move(c)); }
+  void track(sim::CompletionPtr c) {
+    pending_.push_back(PendingOp{std::move(c), nullptr, 0});
+  }
+  /// Track a non-blocking op together with a closure that re-posts it. When
+  /// fault injection surfaces the completion in error state, quiet() calls
+  /// `repost` (with capped exponential backoff) until the op lands or the
+  /// replay budget is exhausted. Re-posted ops must be idempotent — every
+  /// caller replays from still-valid source data.
+  void track_reliable(sim::CompletionPtr c,
+                      std::function<sim::CompletionPtr()> repost) {
+    pending_.push_back(PendingOp{std::move(c), std::move(repost), 0});
+  }
+  /// Block `worker` until `comp` fires successfully; error completions
+  /// (fault plans only) are re-posted via `repost` with capped exponential
+  /// backoff. Returns the completion that finally succeeded.
+  sim::CompletionPtr await_reliable(
+      sim::Process& worker, sim::CompletionPtr comp,
+      const std::function<sim::CompletionPtr()>& repost);
+  /// Backoff before software replay number `replays` (1-based).
+  sim::Duration replay_backoff(int replays) const;
   /// Keep a snapshot buffer alive until pending ops drain (inline puts).
   void keep_alive(std::shared_ptr<std::vector<std::byte>> buf) {
     snapshots_.push_back(std::move(buf));
@@ -288,6 +322,18 @@ class Ctx {
  private:
   friend class Runtime;
 
+  /// One tracked non-blocking operation. `repost` is null for ops issued on
+  /// a healthy fabric (their completions can only fire successfully).
+  struct PendingOp {
+    sim::CompletionPtr comp;
+    std::function<sim::CompletionPtr()> repost;
+    int replays = 0;
+  };
+
+  /// Replay every pending op whose completion surfaced in error state
+  /// (fault plans only; called from quiet's predicate).
+  void recover_pending();
+
   enum class ReduceOp { kSum, kMin, kMax };
   enum class ScalarType { kF32, kF64, kI32, kI64 };
   template <typename T>
@@ -305,7 +351,7 @@ class Ctx {
   int pe_;
   sim::Process* proc_ = nullptr;  // bound by Runtime::run
 
-  std::vector<sim::CompletionPtr> pending_;
+  std::vector<PendingOp> pending_;
   std::vector<std::shared_ptr<std::vector<std::byte>>> snapshots_;
   sim::Mailbox<CtrlMsg> rx_;
   sim::Notification progress_note_;

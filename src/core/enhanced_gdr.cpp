@@ -24,7 +24,8 @@ std::size_t EnhancedGdrTransport::gdr_limit(const RmaOp& op, bool is_get,
       intra_node ? t.loopback_gdr_write_limit : t.direct_gdr_write_limit;
   const std::size_t rl =
       intra_node ? t.loopback_gdr_read_limit : t.direct_gdr_read_limit;
-  auto adj = [&](int pe, std::size_t base) {
+  auto adj = [&](int pe, std::size_t base) -> std::size_t {
+    if (!rt_.gdr_available(pe)) return 0;  // P2P revoked: no GDR on this leg
     return rt_.gdr_inter_socket(pe) ? base / t.inter_socket_gdr_divisor : base;
   };
   std::size_t limit = SIZE_MAX;
@@ -47,8 +48,16 @@ std::size_t EnhancedGdrTransport::gdr_limit(const RmaOp& op, bool is_get,
 // ---------------------------------------------------------------------------
 // dispatch
 
+void EnhancedGdrTransport::note_gdr_fallback(const RmaOp& op) {
+  if ((op.local_is_device && !rt_.gdr_available(issuer_)) ||
+      (op.remote_domain == Domain::kGpu && !rt_.gdr_available(op.target_pe))) {
+    rt_.faults().on_event(sim::FaultEvent::kGdrFallback, issuer_);
+  }
+}
+
 void EnhancedGdrTransport::put(Ctx& ctx, const RmaOp& op) {
   issuer_ = ctx.my_pe();
+  if (rt_.faults_enabled()) note_gdr_fallback(op);
   if (op.same_node) return put_intra(ctx, op);
   const bool src_dev = op.local_is_device;
   const bool dst_dev = op.remote_domain == Domain::kGpu;
@@ -58,16 +67,24 @@ void EnhancedGdrTransport::put(Ctx& ctx, const RmaOp& op) {
   }
   if (src_dev) return pipeline_gdr_write(ctx, op);
   // Host source, device destination, large: GDR write is near wire speed
-  // intra-socket; inter-socket it collapses (1,179 MB/s) — stage via proxy.
-  if (dst_dev && rt_.gdr_inter_socket(op.target_pe) && rt_.tuning().use_proxy &&
-      rt_.proxies_enabled()) {
+  // intra-socket; inter-socket it collapses (1,179 MB/s) — and with P2P
+  // revoked on the target node it is unavailable outright. Stage via proxy
+  // (the proxy's final hop is a plain IPC H->D copy, no GDR needed).
+  if (dst_dev && (rt_.gdr_inter_socket(op.target_pe) ||
+                  !rt_.gdr_available(op.target_pe)) &&
+      rt_.tuning().use_proxy && rt_.proxies_enabled()) {
     return proxy_put(ctx, op, op.local);
+  }
+  if (dst_dev && !rt_.gdr_available(op.target_pe)) {
+    throw ShmemError(
+        "enhanced-gdr: target GPU lost P2P and no proxy is available");
   }
   return direct_put(ctx, op, Protocol::kDirectGdr);
 }
 
 void EnhancedGdrTransport::get(Ctx& ctx, const RmaOp& op) {
   issuer_ = ctx.my_pe();
+  if (rt_.faults_enabled()) note_gdr_fallback(op);
   if (op.same_node) return get_intra(ctx, op);
   const bool loc_dev = op.local_is_device;
   const bool rem_dev = op.remote_domain == Domain::kGpu;
@@ -80,10 +97,18 @@ void EnhancedGdrTransport::get(Ctx& ctx, const RmaOp& op) {
     // P2P read path: the remote proxy runs the reverse pipeline instead.
     return proxy_get(ctx, op);
   }
+  if (rem_dev && !rt_.gdr_available(op.target_pe)) {
+    throw ShmemError(
+        "enhanced-gdr: target GPU lost P2P and no proxy is available");
+  }
   if (rem_dev) return direct_get(ctx, op, Protocol::kDirectGdr);
   // Remote host, local device, large: RDMA-read + local staging when our
-  // own GDR write leg is inter-socket; otherwise read straight into the GPU.
-  if (loc_dev && rt_.gdr_inter_socket(ctx.my_pe())) return host_staged_get(ctx, op);
+  // own GDR write leg is inter-socket or our node's P2P was revoked;
+  // otherwise read straight into the GPU.
+  if (loc_dev && (rt_.gdr_inter_socket(ctx.my_pe()) ||
+                  !rt_.gdr_available(ctx.my_pe()))) {
+    return host_staged_get(ctx, op);
+  }
   return direct_get(ctx, op, Protocol::kDirectGdr);
 }
 
@@ -151,30 +176,68 @@ void EnhancedGdrTransport::direct_get(Ctx& ctx, const RmaOp& op, Protocol proto)
 void EnhancedGdrTransport::pipeline_gdr_write(Ctx& ctx, const RmaOp& op) {
   // Device source, large put. Avoid the P2P *read* bottleneck by IPC-copying
   // D->H into registered host staging, then RDMA (GDR-)writing each chunk.
-  if (op.remote_domain == Domain::kGpu && rt_.gdr_inter_socket(op.target_pe) &&
+  if (op.remote_domain == Domain::kGpu &&
+      (rt_.gdr_inter_socket(op.target_pe) ||
+       !rt_.gdr_available(op.target_pe)) &&
       rt_.tuning().use_proxy && rt_.proxies_enabled()) {
-    // Both ends bottlenecked: stage the whole message to host locally, then
-    // let the target-side proxy do the last hop.
+    // Both ends bottlenecked (or the target's P2P was revoked): stage the
+    // whole message to host locally, let the target-side proxy do the last
+    // hop with an IPC copy.
     std::byte* b = ctx.bounce(op.bytes);
     rt_.cuda().memcpy_sync(ctx.proc(), b, op.local, op.bytes);
     return proxy_put(ctx, op, b);
   }
+  if (op.remote_domain == Domain::kGpu && !rt_.gdr_available(op.target_pe)) {
+    throw ShmemError(
+        "enhanced-gdr: target GPU lost P2P and no proxy is available");
+  }
   ctx.count_protocol(Protocol::kPipelineGdrWrite, op.bytes);
   const int me = ctx.my_pe();
+  const bool faulty = rt_.faults_enabled();
   const std::size_t chunk = rt_.tuning().pipeline_chunk;
   std::byte* bounce = ctx.bounce(2 * chunk);
   sim::CompletionPtr slot_comp[2];
+  std::function<sim::CompletionPtr()> slot_repost[2];
   auto* local_bytes = static_cast<const std::byte*>(op.local);
   auto* remote_bytes = static_cast<std::byte*>(op.remote);
   for (std::size_t off = 0; off < op.bytes; off += chunk) {
     std::size_t c = std::min(chunk, op.bytes - off);
     std::size_t s = (off / chunk) % 2;
-    if (slot_comp[s]) slot_comp[s]->wait(ctx.proc());
+    if (slot_comp[s]) {
+      // The staging slot is about to be overwritten: its previous chunk must
+      // be remotely complete first. Under a fault plan that means replaying
+      // error completions *now*, while the slot still holds the chunk.
+      if (faulty) {
+        slot_comp[s] =
+            ctx.await_reliable(ctx.proc(), std::move(slot_comp[s]), slot_repost[s]);
+      } else {
+        slot_comp[s]->wait(ctx.proc());
+      }
+    }
     rt_.cuda().memcpy_sync(ctx.proc(), bounce + s * chunk, local_bytes + off, c);
-    auto comp = rt_.verbs().rdma_write(ctx.proc(), me, bounce + s * chunk,
-                                       op.target_pe, remote_bytes + off, c);
+    auto post = [this, &ctx, me, bounce, s, chunk, target = op.target_pe,
+                 remote_bytes, off, c] {
+      return rt_.verbs().rdma_write(ctx.proc(), me, bounce + s * chunk, target,
+                                    remote_bytes + off, c);
+    };
+    auto comp = post();
     slot_comp[s] = comp;
-    ctx.track(std::move(comp));
+    if (faulty) {
+      slot_repost[s] = std::move(post);
+    } else {
+      ctx.track(std::move(comp));
+    }
+  }
+  if (faulty) {
+    // Drain both slots reliably before returning: once we return, the bounce
+    // buffer may be reused and the repost closures would replay stale bytes.
+    // A legal strengthening of the put's completion semantics.
+    for (std::size_t s = 0; s < 2; ++s) {
+      if (slot_comp[s]) {
+        ctx.track(ctx.await_reliable(ctx.proc(), std::move(slot_comp[s]),
+                                     slot_repost[s]));
+      }
+    }
   }
   // Paper semantics: the put returns once the last IPC cudaMemcpy completes
   // and the RDMA is posted — the source buffer is already copied out.
@@ -194,10 +257,17 @@ void EnhancedGdrTransport::host_staged_get(Ctx& ctx, const RmaOp& op) {
     std::size_t c = std::min(chunk, op.bytes - off);
     std::size_t s = (off / chunk) % 2;
     if (h2d[s]) h2d[s]->synchronize(ctx.proc());  // staging slot reusable
-    rt_.verbs()
-        .rdma_read(ctx.proc(), me, bounce + s * chunk, op.target_pe,
-                   remote_bytes + off, c)
-        ->wait(ctx.proc());
+    auto post = [this, &ctx, me, bounce, s, chunk, target = op.target_pe,
+                 remote_bytes, off, c] {
+      return rt_.verbs().rdma_read(ctx.proc(), me, bounce + s * chunk, target,
+                                   remote_bytes + off, c);
+    };
+    if (rt_.faults_enabled()) {
+      // Reads are idempotent into the staging slot: replay in place.
+      ctx.await_reliable(ctx.proc(), post(), post);
+    } else {
+      post()->wait(ctx.proc());
+    }
     h2d[s] = rt_.cuda().memcpy_async(local_bytes + off, bounce + s * chunk, c,
                                      ctx.stream());
   }
@@ -209,6 +279,21 @@ void EnhancedGdrTransport::host_staged_get(Ctx& ctx, const RmaOp& op) {
 void EnhancedGdrTransport::proxy_put(Ctx& ctx, const RmaOp& op,
                                      const void* host_src) {
   ctx.count_protocol(Protocol::kProxyPut, op.bytes);
+  if (rt_.faults_enabled()) {
+    // Under a fault plan the proxy may crash mid-transfer. Each attempt uses
+    // fresh transfer state (so a restarted proxy never consumes a stale
+    // window notification into the new transfer) and a per-stage deadline;
+    // a timed-out attempt is reissued from scratch, up to the budget. The
+    // op becomes effectively blocking — a legal strengthening of nbi.
+    int reissues = 0;
+    while (!attempt_proxy_put(ctx, op, host_src)) {
+      if (++reissues > rt_.tuning().proxy_max_reissues) {
+        throw ShmemError("proxy put: reissue budget exhausted");
+      }
+      rt_.faults().on_event(sim::FaultEvent::kProxyReissue, ctx.my_pe());
+    }
+    return;
+  }
   const int me = ctx.my_pe();
   Runtime& rt = rt_;
   ProxyDaemon& proxy = rt_.proxy(rt_.cluster().placement(op.target_pe).node);
@@ -251,8 +336,97 @@ void EnhancedGdrTransport::proxy_put(Ctx& ctx, const RmaOp& op,
   if (op.blocking) ctx.wait_for([&] { return st->done->done(); });
 }
 
+bool EnhancedGdrTransport::attempt_proxy_put(Ctx& ctx, const RmaOp& op,
+                                             const void* host_src) {
+  const int me = ctx.my_pe();
+  ProxyDaemon& proxy = rt_.proxy(rt_.cluster().placement(op.target_pe).node);
+  const sim::Duration timeout =
+      sim::Duration::us(rt_.tuning().proxy_timeout_us);
+
+  auto st = std::make_shared<ProxyPutState>();
+  st->requester = me;
+  CtrlMsg req;
+  req.kind = CtrlMsg::Kind::kProxyPutReq;
+  req.from = me;
+  req.remote = op.remote;
+  req.bytes = op.bytes;
+  req.state = st;
+  rt_.verbs().post_send(ctx.proc(), me, proxy.endpoint(), 32,
+                        [&proxy, req] { proxy.mailbox().post(req); });
+  if (!ctx.wait_for_deadline([&] { return st->cts.done(); },
+                             ctx.now() + timeout)) {
+    return false;
+  }
+
+  auto* src_bytes = static_cast<const std::byte*>(host_src);
+  const std::size_t window = st->window;
+  for (std::size_t off = 0; off < op.bytes; off += window) {
+    std::size_t w = std::min(window, op.bytes - off);
+    if (off > 0) {
+      std::uint64_t need = off / window;
+      if (!ctx.wait_for_deadline([&] { return st->windows_done >= need; },
+                                 ctx.now() + timeout)) {
+        return false;
+      }
+    }
+    // The window's bytes must be in proxy staging before the notification is
+    // sent: a tier-2 replay of the data write could otherwise land *after*
+    // the proxy's H->D copy drained the window. host_src stays valid across
+    // replays (user buffer or whole-message bounce).
+    auto post = [this, &ctx, me, src_bytes, off, &proxy, st, w] {
+      return rt_.verbs().rdma_write(ctx.proc(), me, src_bytes + off,
+                                    proxy.endpoint(), st->staging, w);
+    };
+    ctx.await_reliable(ctx.proc(), post(), post);
+    CtrlMsg fin;
+    fin.kind = CtrlMsg::Kind::kProxyPutFin;
+    fin.from = me;
+    fin.remote = op.remote;
+    fin.bytes = w;
+    fin.offset = off;
+    fin.state = st;
+    rt_.verbs().post_send(ctx.proc(), me, proxy.endpoint(), 0,
+                          [&proxy, fin] { proxy.mailbox().post(fin); });
+  }
+  return ctx.wait_for_deadline([&] { return st->done->done(); },
+                               ctx.now() + timeout);
+}
+
+bool EnhancedGdrTransport::attempt_proxy_get(Ctx& ctx, const RmaOp& op) {
+  const int me = ctx.my_pe();
+  ProxyDaemon& proxy = rt_.proxy(rt_.cluster().placement(op.target_pe).node);
+  rt_.verbs().reg_cache().get_or_register(ctx.proc(), me, op.local, op.bytes);
+
+  auto st = std::make_shared<ProxyGetState>();
+  st->requester = me;
+  CtrlMsg req;
+  req.kind = CtrlMsg::Kind::kProxyGet;
+  req.from = me;
+  req.local = op.local;
+  req.remote = op.remote;
+  req.bytes = op.bytes;
+  req.state = st;
+  rt_.verbs().post_send(ctx.proc(), me, proxy.endpoint(), 32,
+                        [&proxy, req] { proxy.mailbox().post(req); });
+  // One stage: the proxy streams straight into our destination buffer and
+  // fires done. A replayed attempt rewrites the same bytes — idempotent.
+  return ctx.wait_for_deadline(
+      [&] { return st->done->done(); },
+      ctx.now() + sim::Duration::us(rt_.tuning().proxy_timeout_us));
+}
+
 void EnhancedGdrTransport::proxy_get(Ctx& ctx, const RmaOp& op) {
   ctx.count_protocol(Protocol::kProxyGet, op.bytes);
+  if (rt_.faults_enabled()) {
+    int reissues = 0;
+    while (!attempt_proxy_get(ctx, op)) {
+      if (++reissues > rt_.tuning().proxy_max_reissues) {
+        throw ShmemError("proxy get: reissue budget exhausted");
+      }
+      rt_.faults().on_event(sim::FaultEvent::kProxyReissue, ctx.my_pe());
+    }
+    return;
+  }
   const int me = ctx.my_pe();
   ProxyDaemon& proxy = rt_.proxy(rt_.cluster().placement(op.target_pe).node);
   // The proxy RDMA-writes straight into our destination buffer: it must be

@@ -145,8 +145,20 @@ void HostPipelineTransport::eager_put(Ctx& ctx, const RmaOp& op) {
   }
 
   void* remote_slot = rt_.eager_slot(dst, me);
-  ctx.track(rt_.verbs().rdma_write(ctx.proc(), me, slot_src, dst, remote_slot,
-                                   op.bytes));
+  auto data_post = [this, &ctx, me, slot_src, dst, remote_slot,
+                    bytes = op.bytes] {
+    return rt_.verbs().rdma_write(ctx.proc(), me, slot_src, dst, remote_slot,
+                                  bytes);
+  };
+  if (rt_.faults_enabled()) {
+    // The payload must be in the remote eager slot before the notification:
+    // a tier-2 replay of the data write could otherwise land after the
+    // target's final copy read the slot. slot_src stays valid (one eager in
+    // flight per peer), so the replay is exact.
+    ctx.await_reliable(ctx.proc(), data_post(), data_post);
+  } else {
+    ctx.track(data_post());
+  }
 
   auto done = std::make_shared<sim::Completion>();
   CtrlMsg msg;
@@ -205,8 +217,17 @@ void HostPipelineTransport::on_eager_get_req(Ctx& ctx, CtrlMsg& msg,
   } else {
     detail::host_shm_copy_by(ctx, worker, slot_src, msg.remote, msg.bytes, -1);
   }
-  rt_.verbs().rdma_write(worker, me, slot_src, requester,
-                         rt_.eager_slot(requester, me), msg.bytes);
+  auto data_post = [this, &worker, me, slot_src, requester,
+                    remote_slot = rt_.eager_slot(requester, me),
+                    bytes = msg.bytes] {
+    return rt_.verbs().rdma_write(worker, me, slot_src, requester, remote_slot,
+                                  bytes);
+  };
+  if (rt_.faults_enabled()) {
+    ctx.await_reliable(worker, data_post(), data_post);
+  } else {
+    data_post();
+  }
   CtrlMsg reply;
   reply.kind = CtrlMsg::Kind::kEagerData;
   reply.from = me;
@@ -282,14 +303,21 @@ void HostPipelineTransport::rendezvous_put(Ctx& ctx, const RmaOp& op) {
       if (slot_comp[s]) slot_comp[s]->wait(ctx.proc());  // bounce slot reusable
       rt_.cuda().memcpy_sync(ctx.proc(), bounce + s * chunk, local_bytes + off, c);
       buf = bounce + s * chunk;
-      auto comp = rt_.verbs().rdma_write(ctx.proc(), me, buf, dst,
-                                         st->staging + off, c);
-      slot_comp[s] = comp;
-      chunk_comps.push_back(comp);
-      ctx.track(std::move(comp));
     } else {
-      auto comp = rt_.verbs().rdma_write(ctx.proc(), me, local_bytes + off, dst,
-                                         st->staging + off, c);
+      buf = local_bytes + off;
+    }
+    auto data_post = [this, &ctx, me, buf, dst, st, off, c] {
+      return rt_.verbs().rdma_write(ctx.proc(), me, buf, dst, st->staging + off,
+                                    c);
+    };
+    if (rt_.faults_enabled()) {
+      // Chunk bytes must be in target staging before the chunk notification
+      // (the target copies out of staging on receipt). Serializes the
+      // pipeline, but only under a fault plan.
+      ctx.await_reliable(ctx.proc(), data_post(), data_post);
+    } else {
+      auto comp = data_post();
+      if (bounce != nullptr) slot_comp[(off / chunk) % 2] = comp;
       chunk_comps.push_back(comp);
       ctx.track(std::move(comp));
     }
@@ -431,10 +459,17 @@ void HostPipelineTransport::on_get_req(Ctx& ctx, CtrlMsg& msg,
     } else {
       buf = src_bytes + off;
     }
-    auto comp = rt_.verbs().rdma_write(worker, me, buf, requester,
-                                       st->staging + off, c);
-    if (bounce != nullptr) slot_comp[(off / chunk) % 2] = comp;
-    ctx.track(std::move(comp));
+    auto data_post = [this, &worker, me, buf, requester, st, off, c] {
+      return rt_.verbs().rdma_write(worker, me, buf, requester,
+                                    st->staging + off, c);
+    };
+    if (rt_.faults_enabled()) {
+      ctx.await_reliable(worker, data_post(), data_post);
+    } else {
+      auto comp = data_post();
+      if (bounce != nullptr) slot_comp[(off / chunk) % 2] = comp;
+      ctx.track(std::move(comp));
+    }
 
     CtrlMsg chunk_msg;
     chunk_msg.kind = CtrlMsg::Kind::kRendezvousChunk;

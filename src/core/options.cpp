@@ -1,0 +1,178 @@
+// RuntimeOptions::from_env: every GDRSHMEM_* environment variable is parsed
+// and validated here, in one place. Unknown GDRSHMEM_* names are an error —
+// a silently ignored typo in a tuning knob is worse than a refusal to start.
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "core/runtime.hpp"
+
+extern char** environ;
+
+namespace gdrshmem::core {
+namespace {
+
+[[noreturn]] void bad(std::string_view var, const std::string& why) {
+  throw ShmemError(std::string(var) + ": " + why);
+}
+
+double env_double(std::string_view var, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    double v = std::stod(value, &used);
+    if (used != value.size()) bad(var, "trailing characters in \"" + value + "\"");
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad(var, "not a number: \"" + value + "\"");
+  } catch (const std::out_of_range&) {
+    bad(var, "number out of range: \"" + value + "\"");
+  }
+}
+
+long long env_int(std::string_view var, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    long long v = std::stoll(value, &used);
+    if (used != value.size()) bad(var, "trailing characters in \"" + value + "\"");
+    return v;
+  } catch (const std::exception&) {
+    bad(var, "not an integer: \"" + value + "\"");
+  }
+}
+
+/// Byte size with an optional K/M/G suffix (powers of 1024): "4M", "512K".
+std::size_t env_size(std::string_view var, const std::string& value) {
+  if (value.empty()) bad(var, "empty size");
+  std::string digits = value;
+  std::size_t mult = 1;
+  char suffix = static_cast<char>(
+      std::toupper(static_cast<unsigned char>(digits.back())));
+  if (suffix == 'K' || suffix == 'M' || suffix == 'G') {
+    mult = suffix == 'K' ? (1u << 10) : suffix == 'M' ? (1u << 20) : (1u << 30);
+    digits.pop_back();
+  }
+  long long v = env_int(var, digits);
+  if (v < 0) bad(var, "size must be >= 0");
+  return static_cast<std::size_t>(v) * mult;
+}
+
+bool env_bool(std::string_view var, const std::string& value) {
+  if (value == "1" || value == "true" || value == "on") return true;
+  if (value == "0" || value == "false" || value == "off") return false;
+  bad(var, "expected 0/1 (or true/false, on/off), got \"" + value + "\"");
+}
+
+}  // namespace
+
+RuntimeOptions RuntimeOptions::from_env() {
+  // The defaulted sim_backend member already consults GDRSHMEM_SIM_BACKEND
+  // (and throws std::invalid_argument on garbage); surface that through the
+  // same error type as every other variable here.
+  RuntimeOptions opts = [] {
+    try {
+      return RuntimeOptions{};
+    } catch (const std::invalid_argument& e) {
+      throw ShmemError(e.what());
+    }
+  }();
+  for (char** env = environ; *env != nullptr; ++env) {
+    std::string_view entry(*env);
+    if (entry.substr(0, 9) != "GDRSHMEM_") continue;
+    auto eq = entry.find('=');
+    if (eq == std::string_view::npos) continue;
+    std::string_view key = entry.substr(0, eq);
+    std::string value(entry.substr(eq + 1));
+
+    if (key == "GDRSHMEM_SIM_BACKEND") {
+      // Also consumed directly by the engine; validated here for the error
+      // message and mirrored into the options for programmatic use.
+      if (value == "fibers") {
+        opts.sim_backend = sim::BackendKind::kFibers;
+      } else if (value == "threads") {
+        opts.sim_backend = sim::BackendKind::kThreads;
+      } else {
+        bad(key, "expected 'fibers' or 'threads', got \"" + value + "\"");
+      }
+    } else if (key == "GDRSHMEM_SIM_STACK_KB") {
+      // Consumed by the fiber backend at spawn time; validate eagerly.
+      if (env_int(key, value) < 64) bad(key, "must be >= 64");
+    } else if (key == "GDRSHMEM_TRANSPORT") {
+      if (value == "naive") {
+        opts.transport = TransportKind::kNaive;
+      } else if (value == "host-pipeline") {
+        opts.transport = TransportKind::kHostPipeline;
+      } else if (value == "enhanced-gdr") {
+        opts.transport = TransportKind::kEnhancedGdr;
+      } else {
+        bad(key, "expected naive | host-pipeline | enhanced-gdr, got \"" +
+                     value + "\"");
+      }
+    } else if (key == "GDRSHMEM_HOST_HEAP") {
+      opts.host_heap_bytes = env_size(key, value);
+      if (opts.host_heap_bytes < (1u << 16)) bad(key, "heap must be >= 64K");
+    } else if (key == "GDRSHMEM_GPU_HEAP") {
+      opts.gpu_heap_bytes = env_size(key, value);
+      if (opts.gpu_heap_bytes < (1u << 16)) bad(key, "heap must be >= 64K");
+    } else if (key == "GDRSHMEM_SERVICE_THREAD") {
+      opts.service_thread = env_bool(key, value);
+    } else if (key == "GDRSHMEM_SERVICE_THREAD_PENALTY") {
+      opts.service_thread_compute_penalty = env_double(key, value);
+      if (opts.service_thread_compute_penalty < 1.0) bad(key, "must be >= 1");
+    } else if (key == "GDRSHMEM_USE_PROXY") {
+      opts.tuning.use_proxy = env_bool(key, value);
+    } else if (key == "GDRSHMEM_EAGER_LIMIT") {
+      opts.tuning.eager_limit = env_size(key, value);
+    } else if (key == "GDRSHMEM_PIPELINE_CHUNK") {
+      opts.tuning.pipeline_chunk = env_size(key, value);
+      if (opts.tuning.pipeline_chunk == 0) bad(key, "chunk must be > 0");
+    } else if (key == "GDRSHMEM_INLINE_PUT_LIMIT") {
+      opts.tuning.inline_put_limit = env_size(key, value);
+    } else if (key == "GDRSHMEM_LOOPBACK_GDR_WRITE_LIMIT") {
+      opts.tuning.loopback_gdr_write_limit = env_size(key, value);
+    } else if (key == "GDRSHMEM_LOOPBACK_GDR_READ_LIMIT") {
+      opts.tuning.loopback_gdr_read_limit = env_size(key, value);
+    } else if (key == "GDRSHMEM_DIRECT_GDR_WRITE_LIMIT") {
+      opts.tuning.direct_gdr_write_limit = env_size(key, value);
+    } else if (key == "GDRSHMEM_DIRECT_GDR_READ_LIMIT") {
+      opts.tuning.direct_gdr_read_limit = env_size(key, value);
+    } else if (key == "GDRSHMEM_INTER_SOCKET_GDR_DIVISOR") {
+      long long v = env_int(key, value);
+      if (v < 1) bad(key, "divisor must be >= 1");
+      opts.tuning.inter_socket_gdr_divisor = static_cast<std::size_t>(v);
+    } else if (key == "GDRSHMEM_MAX_SW_REPLAYS") {
+      long long v = env_int(key, value);
+      if (v < 1) bad(key, "must be >= 1");
+      opts.tuning.max_sw_replays = static_cast<int>(v);
+    } else if (key == "GDRSHMEM_REPLAY_BACKOFF_US") {
+      opts.tuning.replay_backoff_base_us = env_double(key, value);
+      if (opts.tuning.replay_backoff_base_us <= 0) bad(key, "must be > 0");
+    } else if (key == "GDRSHMEM_PROXY_TIMEOUT_US") {
+      opts.tuning.proxy_timeout_us = env_double(key, value);
+      if (opts.tuning.proxy_timeout_us <= 0) bad(key, "must be > 0");
+    } else if (key == "GDRSHMEM_PROXY_MAX_REISSUES") {
+      long long v = env_int(key, value);
+      if (v < 1) bad(key, "must be >= 1");
+      opts.tuning.proxy_max_reissues = static_cast<int>(v);
+    } else if (key == "GDRSHMEM_FAULTS") {
+      try {
+        opts.faults = sim::FaultPlan::parse(value);
+      } catch (const std::invalid_argument& e) {
+        bad(key, e.what());
+      }
+    } else {
+      bad(key,
+          "unknown GDRSHMEM_* variable (known: SIM_BACKEND, SIM_STACK_KB, "
+          "TRANSPORT, HOST_HEAP, GPU_HEAP, SERVICE_THREAD, "
+          "SERVICE_THREAD_PENALTY, USE_PROXY, EAGER_LIMIT, PIPELINE_CHUNK, "
+          "INLINE_PUT_LIMIT, LOOPBACK_GDR_WRITE_LIMIT, "
+          "LOOPBACK_GDR_READ_LIMIT, DIRECT_GDR_WRITE_LIMIT, "
+          "DIRECT_GDR_READ_LIMIT, INTER_SOCKET_GDR_DIVISOR, MAX_SW_REPLAYS, "
+          "REPLAY_BACKOFF_US, PROXY_TIMEOUT_US, PROXY_MAX_REISSUES, FAULTS)");
+    }
+  }
+  return opts;
+}
+
+}  // namespace gdrshmem::core

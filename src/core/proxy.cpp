@@ -18,7 +18,7 @@ ProxyDaemon::ProxyDaemon(Runtime& rt, int node, std::size_t staging_bytes)
 int ProxyDaemon::endpoint() const { return rt_.cluster().service_endpoint(node_); }
 
 void ProxyDaemon::start() {
-  rt_.engine().spawn(
+  proc_ = &rt_.engine().spawn(
       "proxy-node" + std::to_string(node_),
       [this](sim::Process& self) {
         // Map every local PE's GPU heap once, at startup (III-C: "the IPC
@@ -31,6 +31,28 @@ void ProxyDaemon::start() {
         serve(self);
       },
       /*daemon=*/true);
+}
+
+void ProxyDaemon::crash() {
+  if (proc_ == nullptr) return;  // already down
+  rt_.faults().on_event(sim::FaultEvent::kProxyCrash, node_);
+  rt_.engine().kill(*proc_);
+  proc_ = nullptr;
+  rt_.engine().schedule_after(
+      Duration::us(rt_.faults().plan().proxy_restart_us),
+      [this] { restart(); });
+}
+
+void ProxyDaemon::restart() {
+  // Everything queued or half-served at crash time is lost: requesters hold
+  // per-stage deadlines and reissue with fresh transfer state. The GPU heap
+  // IPC mappings are re-established by start() (cached, so effectively
+  // free the second time).
+  mb_.clear();
+  stash_.clear();
+  ++restarts_;
+  rt_.faults().on_event(sim::FaultEvent::kProxyRestart, node_);
+  start();
 }
 
 void ProxyDaemon::serve(sim::Process& self) {
@@ -50,6 +72,15 @@ void ProxyDaemon::serve(sim::Process& self) {
       case CtrlMsg::Kind::kProxyPutReq:
         do_put(self, msg);
         break;
+      case CtrlMsg::Kind::kProxyPutFin:
+        if (rt_.faults_enabled()) {
+          // A window notification for a transfer this (restarted) daemon no
+          // longer knows about — the requester has already timed out and
+          // reissued. Drop it.
+          rt_.faults().on_event(sim::FaultEvent::kStaleCtrlDrop, node_);
+          break;
+        }
+        [[fallthrough]];
       default:
         throw ShmemError("proxy: unexpected control message");
     }
@@ -63,23 +94,47 @@ void ProxyDaemon::do_get(sim::Process& self, CtrlMsg& msg) {
   ++gets_served_;
   auto st = std::static_pointer_cast<ProxyGetState>(msg.state);
   const int requester = msg.from;
+  const bool faulty = rt_.faults_enabled();
   const std::size_t chunk =
       std::min(rt_.tuning().pipeline_chunk, staging_.size() / 2);
   auto* src = static_cast<const std::byte*>(msg.remote);
   auto* dst = static_cast<std::byte*>(msg.local);
   sim::CompletionPtr slot_comp[2];
-  sim::CompletionPtr last;
+  std::function<sim::CompletionPtr()> slot_repost[2];
   for (std::size_t off = 0; off < msg.bytes; off += chunk) {
     std::size_t c = std::min(chunk, msg.bytes - off);
     std::size_t s = (off / chunk) % 2;
-    if (slot_comp[s]) slot_comp[s]->wait(self);
+    if (slot_comp[s]) {
+      // Replay error completions while the slot still holds the chunk
+      // (fault plans only; the repost closure reads the staging slot).
+      if (faulty) {
+        slot_comp[s] = rt_.ctx(requester).await_reliable(
+            self, std::move(slot_comp[s]), slot_repost[s]);
+      } else {
+        slot_comp[s]->wait(self);
+      }
+    }
     rt_.cuda().memcpy_sync(self, staging_.data() + s * chunk, src + off, c);
-    auto comp = rt_.verbs().rdma_write(self, endpoint(), staging_.data() + s * chunk,
-                                       requester, dst + off, c);
-    slot_comp[s] = comp;
-    last = std::move(comp);
+    auto post = [this, &self, requester, s, chunk, dst, off, c] {
+      return rt_.verbs().rdma_write(self, endpoint(),
+                                    staging_.data() + s * chunk, requester,
+                                    dst + off, c);
+    };
+    slot_comp[s] = post();
+    if (faulty) slot_repost[s] = std::move(post);
   }
-  if (last) last->wait(self);
+  if (faulty) {
+    // Drain both slots reliably: done must not fire before every chunk
+    // actually landed in the requester's buffer.
+    for (std::size_t s = 0; s < 2; ++s) {
+      if (!slot_comp[s]) continue;
+      rt_.ctx(requester).await_reliable(self, std::move(slot_comp[s]),
+                                        slot_repost[s]);
+    }
+  } else if (msg.bytes > 0) {
+    std::size_t last_slot = ((msg.bytes + chunk - 1) / chunk - 1) % 2;
+    if (slot_comp[last_slot]) slot_comp[last_slot]->wait(self);
+  }
   Runtime& rt = rt_;
   rt_.verbs().post_send(self, endpoint(), requester, 0, [st, &rt, requester] {
     st->done->fire();
@@ -110,6 +165,17 @@ void ProxyDaemon::do_put(sim::Process& self, CtrlMsg& req) {
         stash_.front().state == req.state) {
       m = stash_.front();
       stash_.pop_front();
+    } else if (rt_.faults_enabled()) {
+      // Timed receive at twice the requester's per-stage timeout: if the
+      // requester gave up on this transfer (it saw us crash and reissued,
+      // or died itself) the window notifications stop coming and we must
+      // not serve this orphan forever. Requesters always time out first,
+      // so an abort here can never strand a live requester.
+      auto maybe = mb_.receive_until(
+          self, rt_.engine().now() +
+                    Duration::us(2 * rt_.tuning().proxy_timeout_us));
+      if (!maybe) return;  // orphaned transfer: drop it, serve the next
+      m = *maybe;
     } else {
       m = mb_.receive(self);
     }

@@ -49,6 +49,11 @@ class ProxyDaemon {
   /// Spawn the daemon process (call before Runtime::run starts PEs).
   void start();
 
+  /// Fault injection: kill the daemon mid-service and schedule a restart
+  /// after the fault plan's restart delay. In-flight transfers are lost;
+  /// requesters detect the stall via their per-stage deadlines and reissue.
+  void crash();
+
   int node() const { return node_; }
   int endpoint() const;
   sim::Mailbox<CtrlMsg>& mailbox() { return mb_; }
@@ -57,17 +62,21 @@ class ProxyDaemon {
   // Diagnostics.
   std::uint64_t gets_served() const { return gets_served_; }
   std::uint64_t puts_served() const { return puts_served_; }
+  int restarts() const { return restarts_; }
 
  private:
   void serve(sim::Process& self);
   void do_get(sim::Process& self, CtrlMsg& msg);
   void do_put(sim::Process& self, CtrlMsg& req);
+  void restart();
 
   Runtime& rt_;
   int node_;
   std::vector<std::byte> staging_;
   sim::Mailbox<CtrlMsg> mb_;
   std::deque<CtrlMsg> stash_;  // messages deferred while a put is active
+  sim::Process* proc_ = nullptr;  // live daemon process (null while crashed)
+  int restarts_ = 0;
   std::uint64_t gets_served_ = 0;
   std::uint64_t puts_served_ = 0;
 };

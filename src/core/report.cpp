@@ -38,6 +38,19 @@ std::string format_report(Runtime& rt) {
     os << "proxy daemons: " << gets << " gets, " << puts
        << " puts progressed\n";
   }
+  if (rt.faults_enabled()) {
+    const sim::FaultInjector& inj = rt.faults();
+    os << "fault injection (plan: " << inj.plan().spec() << ")\n";
+    os << std::left << std::setw(22) << "  event" << std::right << std::setw(12)
+       << "count" << '\n';
+    for (std::size_t i = 0; i < static_cast<std::size_t>(sim::FaultEvent::kCount_);
+         ++i) {
+      auto ev = static_cast<sim::FaultEvent>(i);
+      os << std::left << std::setw(22)
+         << ("  " + std::string(sim::to_string(ev))) << std::right
+         << std::setw(12) << inj.count(ev) << '\n';
+    }
+  }
   std::size_t host_used = 0, gpu_used = 0;
   for (int pe = 0; pe < rt.num_pes(); ++pe) {
     host_used += rt.heap(pe, Domain::kHost).used();

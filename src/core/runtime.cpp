@@ -13,8 +13,33 @@ Runtime::Runtime(const hw::ClusterConfig& cluster_cfg, const RuntimeOptions& opt
       engine_(opts.sim_backend),
       cluster_(cluster_cfg),
       cuda_(engine_, cluster_),
-      verbs_(engine_, cluster_, cuda_) {
+      verbs_(engine_, cluster_, cuda_),
+      injector_(opts.faults) {
   const int np = cluster_.num_pes();
+
+  verbs_.set_fault_injector(&injector_);
+  // Mirror fault/recovery events into the operation tracer (when enabled).
+  injector_.set_hook([this](sim::FaultEvent ev, int endpoint) {
+    if (!tracer_.enabled()) return;
+    TraceEvent::Kind kind;
+    switch (ev) {
+      case sim::FaultEvent::kRetransmit: kind = TraceEvent::Kind::kRetransmit; break;
+      case sim::FaultEvent::kCompletionError: kind = TraceEvent::Kind::kError; break;
+      case sim::FaultEvent::kSwReplay: kind = TraceEvent::Kind::kReplay; break;
+      case sim::FaultEvent::kGdrFallback: kind = TraceEvent::Kind::kFallback; break;
+      case sim::FaultEvent::kProxyCrash: kind = TraceEvent::Kind::kProxyCrash; break;
+      case sim::FaultEvent::kProxyRestart: kind = TraceEvent::Kind::kProxyRestart; break;
+      case sim::FaultEvent::kProxyReissue: kind = TraceEvent::Kind::kProxyReissue; break;
+      case sim::FaultEvent::kStaleCtrlDrop: kind = TraceEvent::Kind::kStaleDrop; break;
+      case sim::FaultEvent::kP2pRevoke: kind = TraceEvent::Kind::kRevoke; break;
+      default: return;
+    }
+    TraceEvent ev_out;
+    ev_out.pe = endpoint;
+    ev_out.kind = kind;
+    ev_out.start = ev_out.end = engine_.now();
+    tracer_.record(ev_out);
+  });
 
   // Symmetric heaps: one host + one GPU heap per PE, registered with the HCA
   // at init (III-A). make_unique<T[]> value-initializes, so heaps are zeroed.
@@ -79,6 +104,25 @@ void Runtime::run(std::function<void(Ctx&)> program) {
   if (ran_) throw ShmemError("Runtime::run is single-shot; create a new Runtime");
   ran_ = true;
   for (auto& proxy : proxies_) proxy->start();
+  if (faults_enabled()) {
+    // Schedule the planned point faults. Flap windows and error rates need
+    // no events — the injector answers them analytically per attempt.
+    for (const auto& r : opts_.faults.revokes) {
+      engine_.schedule_at(sim::Time::zero() + sim::Duration::us(r.at_us),
+                          [this, node = r.node] {
+                            if (node >= cluster_.num_nodes()) return;
+                            cluster_.set_p2p_available(node, false);
+                            injector_.on_event(sim::FaultEvent::kP2pRevoke, node);
+                          });
+    }
+    for (const auto& c : opts_.faults.crashes) {
+      engine_.schedule_at(sim::Time::zero() + sim::Duration::us(c.at_us),
+                          [this, node = c.node] {
+                            if (node >= static_cast<int>(proxies_.size())) return;
+                            proxies_[static_cast<std::size_t>(node)]->crash();
+                          });
+    }
+  }
   if (opts_.service_thread) {
     // One service thread per PE, draining its control mailbox concurrently
     // with (and racing) the PE's own progress engine.

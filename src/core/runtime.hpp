@@ -20,6 +20,7 @@
 #include "hw/topology.hpp"
 #include "ib/verbs.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 
 namespace gdrshmem::core {
 
@@ -41,6 +42,16 @@ struct RuntimeOptions {
   /// (Ctx::compute is slowed by service_thread_compute_penalty).
   bool service_thread = false;
   double service_thread_compute_penalty = 1.0;
+  /// Seeded fault-injection schedule (empty by default — an empty plan
+  /// guarantees the fault-free code paths run verbatim, event for event).
+  /// Configurable via GDRSHMEM_FAULTS; see sim::FaultPlan::parse.
+  sim::FaultPlan faults;
+
+  /// Build options from the environment: parses and validates every
+  /// GDRSHMEM_* variable (backend, heap sizes, transport, tuning
+  /// thresholds, fault plan) in one place. Unknown GDRSHMEM_* keys and
+  /// out-of-range values throw ShmemError naming the variable.
+  static RuntimeOptions from_env();
 };
 
 /// Operation accounting, mostly consumed by tests and the benchmark tables.
@@ -90,6 +101,12 @@ class Runtime {
   Tracer& tracer() { return tracer_; }
   int num_pes() const { return cluster_.num_pes(); }
   Ctx& ctx(int pe) { return *ctxs_.at(static_cast<std::size_t>(pe)); }
+  sim::FaultInjector& faults() { return injector_; }
+  bool faults_enabled() const { return injector_.enabled(); }
+  /// GPUDirect P2P usable for `pe`'s GPU (false after a planned revocation).
+  bool gdr_available(int pe) {
+    return cluster_.p2p_available(cluster_.placement(pe).node);
+  }
   ProxyDaemon& proxy(int node) { return *proxies_.at(static_cast<std::size_t>(node)); }
   bool proxies_enabled() const { return !proxies_.empty(); }
 
@@ -137,6 +154,7 @@ class Runtime {
   hw::Cluster cluster_;
   cudart::CudaRuntime cuda_;
   ib::Verbs verbs_;
+  sim::FaultInjector injector_;
   OpStats stats_;
   Tracer tracer_;
 

@@ -1,5 +1,8 @@
 #include "core/shmem_api.hpp"
 
+#include <cstring>
+#include <vector>
+
 #include "core/ctx.hpp"
 #include "sim/engine.hpp"
 
@@ -35,10 +38,32 @@ core::Ctx& current() {
 int shmem_my_pe() { return current().my_pe(); }
 int shmem_n_pes() { return current().n_pes(); }
 
-void* shmalloc(std::size_t bytes, core::Domain domain) {
-  return current().shmalloc(bytes, domain);
+void* shmem_malloc(std::size_t size) {
+  return current().shmalloc(size, core::Domain::kHost);
 }
-void shfree(void* p) { current().shfree(p); }
+void* shmem_malloc(std::size_t size, core::Domain domain) {
+  return current().shmalloc(size, domain);
+}
+void* shmem_calloc(std::size_t count, std::size_t size, core::Domain domain) {
+  const std::size_t bytes = count * size;
+  void* p = current().shmalloc(bytes, domain);
+  if (p != nullptr && bytes > 0) {
+    if (domain == core::Domain::kGpu) {
+      // Device-domain zeroing: stage zeros through the host (the cudaMemset
+      // equivalent, charged as one H->D copy).
+      std::vector<std::byte> zeros(bytes);
+      current().cuda_memcpy(p, zeros.data(), bytes);
+    } else {
+      std::memset(p, 0, bytes);
+    }
+  }
+  return p;
+}
+void shmem_free(void* p) { current().shfree(p); }
+void* shmalloc(std::size_t bytes, core::Domain domain) {
+  return shmem_malloc(bytes, domain);
+}
+void shfree(void* p) { shmem_free(p); }
 void* shmem_ptr(const void* sym, int pe) { return current().shmem_ptr(sym, pe); }
 
 void shmem_putmem(void* dst, const void* src, std::size_t n, int pe) {
@@ -53,23 +78,62 @@ void shmem_putmem_nbi(void* dst, const void* src, std::size_t n, int pe) {
 void shmem_getmem_nbi(void* dst, const void* src, std::size_t n, int pe) {
   current().getmem_nbi(dst, src, n, pe);
 }
+void shmem_put(double* dst, const double* src, std::size_t nelems, int pe) {
+  current().put(dst, src, nelems, pe);
+}
+void shmem_put(float* dst, const float* src, std::size_t nelems, int pe) {
+  current().put(dst, src, nelems, pe);
+}
+void shmem_put(long long* dst, const long long* src, std::size_t nelems, int pe) {
+  current().put(dst, src, nelems, pe);
+}
+void shmem_put(int* dst, const int* src, std::size_t nelems, int pe) {
+  current().put(dst, src, nelems, pe);
+}
+void shmem_get(double* dst, const double* src, std::size_t nelems, int pe) {
+  current().get(dst, src, nelems, pe);
+}
+void shmem_get(float* dst, const float* src, std::size_t nelems, int pe) {
+  current().get(dst, src, nelems, pe);
+}
+void shmem_get(long long* dst, const long long* src, std::size_t nelems, int pe) {
+  current().get(dst, src, nelems, pe);
+}
+void shmem_get(int* dst, const int* src, std::size_t nelems, int pe) {
+  current().get(dst, src, nelems, pe);
+}
+void shmem_put_nbi(double* dst, const double* src, std::size_t nelems, int pe) {
+  current().put_nbi(dst, src, nelems, pe);
+}
+void shmem_put_nbi(long long* dst, const long long* src, std::size_t nelems,
+                   int pe) {
+  current().put_nbi(dst, src, nelems, pe);
+}
+void shmem_get_nbi(double* dst, const double* src, std::size_t nelems, int pe) {
+  current().get_nbi(dst, src, nelems, pe);
+}
+void shmem_get_nbi(long long* dst, const long long* src, std::size_t nelems,
+                   int pe) {
+  current().get_nbi(dst, src, nelems, pe);
+}
+
 void shmem_double_put(double* dst, const double* src, std::size_t n, int pe) {
-  current().put(dst, src, n, pe);
+  shmem_put(dst, src, n, pe);
 }
 void shmem_double_get(double* dst, const double* src, std::size_t n, int pe) {
-  current().get(dst, src, n, pe);
+  shmem_get(dst, src, n, pe);
 }
 void shmem_float_put(float* dst, const float* src, std::size_t n, int pe) {
-  current().put(dst, src, n, pe);
+  shmem_put(dst, src, n, pe);
 }
 void shmem_float_get(float* dst, const float* src, std::size_t n, int pe) {
-  current().get(dst, src, n, pe);
+  shmem_get(dst, src, n, pe);
 }
 void shmem_longlong_put(long long* dst, const long long* src, std::size_t n, int pe) {
-  current().put(dst, src, n, pe);
+  shmem_put(dst, src, n, pe);
 }
 void shmem_longlong_get(long long* dst, const long long* src, std::size_t n, int pe) {
-  current().get(dst, src, n, pe);
+  shmem_get(dst, src, n, pe);
 }
 
 void shmem_quiet() { current().quiet(); }
@@ -91,25 +155,55 @@ void shmem_longlong_wait_until(const long long* sym, int cmp_op, long long value
                        static_cast<std::int64_t>(value));
 }
 
-long long shmem_longlong_fadd(long long* sym, long long value, int pe) {
+long long shmem_atomic_fetch_add(long long* sym, long long value, int pe) {
   return current().atomic_fetch_add(reinterpret_cast<std::int64_t*>(sym), value, pe);
 }
-void shmem_longlong_add(long long* sym, long long value, int pe) {
+void shmem_atomic_add(long long* sym, long long value, int pe) {
   current().atomic_add(reinterpret_cast<std::int64_t*>(sym), value, pe);
 }
-long long shmem_longlong_finc(long long* sym, int pe) {
+long long shmem_atomic_fetch_inc(long long* sym, int pe) {
   return current().atomic_fetch_inc(reinterpret_cast<std::int64_t*>(sym), pe);
 }
-long long shmem_longlong_cswap(long long* sym, long long cond, long long value,
-                               int pe) {
+void shmem_atomic_inc(long long* sym, int pe) {
+  current().atomic_inc(reinterpret_cast<std::int64_t*>(sym), pe);
+}
+long long shmem_atomic_swap(long long* sym, long long value, int pe) {
+  return current().atomic_swap(reinterpret_cast<std::int64_t*>(sym), value, pe);
+}
+long long shmem_atomic_compare_swap(long long* sym, long long cond,
+                                    long long value, int pe) {
   return current().atomic_compare_swap(reinterpret_cast<std::int64_t*>(sym), cond,
                                        value, pe);
 }
+long long shmem_atomic_fetch(const long long* sym, int pe) {
+  return current().atomic_fetch(reinterpret_cast<const std::int64_t*>(sym), pe);
+}
+int shmem_atomic_fetch_add(int* sym, int value, int pe) {
+  return current().atomic_fetch_add32(reinterpret_cast<std::int32_t*>(sym), value, pe);
+}
+int shmem_atomic_compare_swap(int* sym, int cond, int value, int pe) {
+  return current().atomic_compare_swap32(reinterpret_cast<std::int32_t*>(sym),
+                                         cond, value, pe);
+}
+
+long long shmem_longlong_fadd(long long* sym, long long value, int pe) {
+  return shmem_atomic_fetch_add(sym, value, pe);
+}
+void shmem_longlong_add(long long* sym, long long value, int pe) {
+  shmem_atomic_add(sym, value, pe);
+}
+long long shmem_longlong_finc(long long* sym, int pe) {
+  return shmem_atomic_fetch_inc(sym, pe);
+}
+long long shmem_longlong_cswap(long long* sym, long long cond, long long value,
+                               int pe) {
+  return shmem_atomic_compare_swap(sym, cond, value, pe);
+}
 long long shmem_longlong_swap(long long* sym, long long value, int pe) {
-  return current().atomic_swap(reinterpret_cast<std::int64_t*>(sym), value, pe);
+  return shmem_atomic_swap(sym, value, pe);
 }
 int shmem_int_fadd(int* sym, int value, int pe) {
-  return current().atomic_fetch_add32(reinterpret_cast<std::int32_t*>(sym), value, pe);
+  return shmem_atomic_fetch_add(sym, value, pe);
 }
 
 void shmem_broadcastmem(void* dst, const void* src, std::size_t n, int root) {

@@ -1,14 +1,19 @@
-// Classic C-style OpenSHMEM API, bound to the calling PE via a thread-local
+// C-style OpenSHMEM 1.4 API, bound to the calling PE via a per-process
 // context — so paper-style application code ports almost verbatim:
 //
 //   gdrshmem::core::Runtime rt(cluster, opts);
 //   rt.run([](gdrshmem::core::Ctx& ctx) {
 //     capi::Bind bind(ctx);                      // once per PE body
-//     double* x = (double*)shmalloc(n, Domain::kGpu);
+//     double* x = (double*)shmem_malloc(n, Domain::kGpu);
 //     shmem_putmem(x, src, n, (shmem_my_pe() + 1) % shmem_n_pes());
 //     shmem_quiet();
 //     shmem_barrier_all();
 //   });
+//
+// The primary surface uses the OpenSHMEM 1.4 names (shmem_malloc,
+// shmem_atomic_fetch_add, typed shmem_put/shmem_get overloads). The
+// pre-1.2 classic names (shmalloc, shmem_longlong_fadd, ...) remain as thin
+// aliases for existing code, but new code should prefer the 1.4 spellings.
 //
 // Every function forwards to the bound Ctx; calling without a bound context
 // throws ShmemError.
@@ -49,16 +54,44 @@ core::Ctx& current();
 int shmem_my_pe();
 int shmem_n_pes();
 
-// ---- symmetric memory (with the paper's Domain extension) -----------------
+// ---- symmetric memory (OpenSHMEM 1.4, with the paper's Domain extension) --
+/// shmem_malloc(size): collective symmetric allocation on the host heap.
+/// The two-argument overload is this runtime's GPU extension — the paper's
+/// Domain-aware shmalloc under the modern name.
+void* shmem_malloc(std::size_t size);
+void* shmem_malloc(std::size_t size, core::Domain domain);
+/// Zero-initialized symmetric allocation (every PE's copy is zeroed).
+void* shmem_calloc(std::size_t count, std::size_t size,
+                   core::Domain domain = core::Domain::kHost);
+void shmem_free(void* p);
+void* shmem_ptr(const void* sym, int pe);
+
+/// Classic pre-1.2 names, kept as aliases for existing code.
 void* shmalloc(std::size_t bytes, core::Domain domain = core::Domain::kHost);
 void shfree(void* p);
-void* shmem_ptr(const void* sym, int pe);
 
 // ---- RMA --------------------------------------------------------------------
 void shmem_putmem(void* dst, const void* src, std::size_t n, int pe);
 void shmem_getmem(void* dst, const void* src, std::size_t n, int pe);
 void shmem_putmem_nbi(void* dst, const void* src, std::size_t n, int pe);
 void shmem_getmem_nbi(void* dst, const void* src, std::size_t n, int pe);
+
+/// Typed RMA, the C++ spelling of the 1.4 typed interface (shmem_double_put
+/// et al. become overloads of one name).
+void shmem_put(double* dst, const double* src, std::size_t nelems, int pe);
+void shmem_put(float* dst, const float* src, std::size_t nelems, int pe);
+void shmem_put(long long* dst, const long long* src, std::size_t nelems, int pe);
+void shmem_put(int* dst, const int* src, std::size_t nelems, int pe);
+void shmem_get(double* dst, const double* src, std::size_t nelems, int pe);
+void shmem_get(float* dst, const float* src, std::size_t nelems, int pe);
+void shmem_get(long long* dst, const long long* src, std::size_t nelems, int pe);
+void shmem_get(int* dst, const int* src, std::size_t nelems, int pe);
+void shmem_put_nbi(double* dst, const double* src, std::size_t nelems, int pe);
+void shmem_put_nbi(long long* dst, const long long* src, std::size_t nelems, int pe);
+void shmem_get_nbi(double* dst, const double* src, std::size_t nelems, int pe);
+void shmem_get_nbi(long long* dst, const long long* src, std::size_t nelems, int pe);
+
+/// Classic typed names, kept as aliases.
 void shmem_double_put(double* dst, const double* src, std::size_t n, int pe);
 void shmem_double_get(double* dst, const double* src, std::size_t n, int pe);
 void shmem_float_put(float* dst, const float* src, std::size_t n, int pe);
@@ -81,7 +114,20 @@ inline constexpr int SHMEM_CMP_GE = 3;
 inline constexpr int SHMEM_CMP_LT = 4;
 inline constexpr int SHMEM_CMP_LE = 5;
 
-// ---- atomics ---------------------------------------------------------------------
+// ---- atomics (OpenSHMEM 1.4 shmem_atomic_* names) --------------------------
+long long shmem_atomic_fetch_add(long long* sym, long long value, int pe);
+void shmem_atomic_add(long long* sym, long long value, int pe);
+long long shmem_atomic_fetch_inc(long long* sym, int pe);
+void shmem_atomic_inc(long long* sym, int pe);
+long long shmem_atomic_swap(long long* sym, long long value, int pe);
+long long shmem_atomic_compare_swap(long long* sym, long long cond,
+                                    long long value, int pe);
+long long shmem_atomic_fetch(const long long* sym, int pe);
+/// 32-bit overloads (masked CAS technique underneath, Section III-D).
+int shmem_atomic_fetch_add(int* sym, int value, int pe);
+int shmem_atomic_compare_swap(int* sym, int cond, int value, int pe);
+
+/// Classic pre-1.4 atomic names, kept as aliases.
 long long shmem_longlong_fadd(long long* sym, long long value, int pe);
 void shmem_longlong_add(long long* sym, long long value, int pe);
 long long shmem_longlong_finc(long long* sym, int pe);

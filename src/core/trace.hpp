@@ -16,7 +16,22 @@ namespace gdrshmem::core {
 struct TraceEvent {
   int pe = -1;
   int target = -1;
-  enum class Kind { kPut, kGet, kAtomic } kind = Kind::kPut;
+  // kPut/kGet/kAtomic are operations; the remaining kinds are point-in-time
+  // fault/recovery records (start == end) mirrored from the fault injector.
+  enum class Kind {
+    kPut,
+    kGet,
+    kAtomic,
+    kRetransmit,    // tier-1 HCA retransmit of a failed attempt
+    kError,         // retry envelope exhausted; CQ error surfaced
+    kReplay,        // software re-posted an op after an error/timeout
+    kFallback,      // op rerouted off a GDR protocol (P2P revoked)
+    kProxyCrash,    // proxy daemon killed by the fault plan
+    kProxyRestart,  // proxy daemon respawned
+    kProxyReissue,  // requester timed out and re-sent a proxy request
+    kStaleDrop,     // recovering proxy discarded a stale ctrl message
+    kRevoke,        // P2P capability withdrawn on a node
+  } kind = Kind::kPut;
   Protocol protocol = Protocol::kCount_;  // kCount_ = unknown/none
   std::size_t bytes = 0;
   sim::Time start;
@@ -28,6 +43,15 @@ inline const char* to_string(TraceEvent::Kind k) {
     case TraceEvent::Kind::kPut: return "put";
     case TraceEvent::Kind::kGet: return "get";
     case TraceEvent::Kind::kAtomic: return "atomic";
+    case TraceEvent::Kind::kRetransmit: return "retransmit";
+    case TraceEvent::Kind::kError: return "cq-error";
+    case TraceEvent::Kind::kReplay: return "sw-replay";
+    case TraceEvent::Kind::kFallback: return "gdr-fallback";
+    case TraceEvent::Kind::kProxyCrash: return "proxy-crash";
+    case TraceEvent::Kind::kProxyRestart: return "proxy-restart";
+    case TraceEvent::Kind::kProxyReissue: return "proxy-reissue";
+    case TraceEvent::Kind::kStaleDrop: return "stale-drop";
+    case TraceEvent::Kind::kRevoke: return "p2p-revoke";
   }
   return "?";
 }

@@ -27,9 +27,29 @@ inline void host_shm_copy(Ctx& ctx, void* dst, const void* src, std::size_t n,
 /// Put over (possibly loopback) RDMA. Small host-resident sources are sent
 /// inline from a pre-registered slot so even a blocking put returns right
 /// after the post; everything else waits for the ACK when blocking.
+///
+/// Under a fault plan the inline ring is bypassed: a slot is recycled as
+/// soon as its completion fires, which under error completions would let a
+/// replay read overwritten data. Instead blocking puts retry-in-place and
+/// non-blocking puts carry a repost closure over the (spec-pinned until
+/// quiet) user source buffer.
 inline void rdma_put(Ctx& ctx, const RmaOp& op, Protocol proto) {
   Runtime& rt = ctx.runtime();
   ctx.count_protocol(proto, op.bytes);
+  if (rt.faults_enabled()) {
+    auto repost = [&ctx, &rt, op]() {
+      return rt.verbs().rdma_write(ctx.proc(), ctx.my_pe(), op.local,
+                                   op.target_pe, op.remote, op.bytes);
+    };
+    auto comp = repost();
+    if (op.blocking) {
+      comp = ctx.await_reliable(ctx.proc(), std::move(comp), repost);
+      ctx.track(std::move(comp));
+    } else {
+      ctx.track_reliable(std::move(comp), repost);
+    }
+    return;
+  }
   bool use_inline =
       !op.local_is_device && op.bytes <= rt.tuning().inline_put_limit;
   if (use_inline) {
@@ -47,10 +67,25 @@ inline void rdma_put(Ctx& ctx, const RmaOp& op, Protocol proto) {
   if (op.blocking) comp->wait(ctx.proc());
 }
 
-/// Get over (possibly loopback) RDMA read.
+/// Get over (possibly loopback) RDMA read. Reads are idempotent, so replays
+/// under a fault plan simply re-post the same descriptor.
 inline void rdma_get(Ctx& ctx, const RmaOp& op, Protocol proto) {
   Runtime& rt = ctx.runtime();
   ctx.count_protocol(proto, op.bytes);
+  if (rt.faults_enabled()) {
+    auto repost = [&ctx, &rt, op]() {
+      return rt.verbs().rdma_read(ctx.proc(), ctx.my_pe(), op.local,
+                                  op.target_pe, op.remote, op.bytes);
+    };
+    auto comp = repost();
+    if (op.blocking) {
+      comp = ctx.await_reliable(ctx.proc(), std::move(comp), repost);
+      ctx.track(std::move(comp));
+    } else {
+      ctx.track_reliable(std::move(comp), repost);
+    }
+    return;
+  }
   auto comp = rt.verbs().rdma_read(ctx.proc(), ctx.my_pe(), op.local,
                                    op.target_pe, op.remote, op.bytes);
   ctx.track(comp);

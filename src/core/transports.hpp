@@ -70,8 +70,20 @@ class EnhancedGdrTransport final : public Transport {
   void proxy_put(Ctx& ctx, const RmaOp& op, const void* host_src);
   void proxy_get(Ctx& ctx, const RmaOp& op);
 
+  /// One full proxy-put / proxy-get exchange under a fault plan; false means
+  /// a stage timed out (proxy crashed mid-transfer) and the caller should
+  /// reissue with fresh transfer state.
+  bool attempt_proxy_put(Ctx& ctx, const RmaOp& op, const void* host_src);
+  bool attempt_proxy_get(Ctx& ctx, const RmaOp& op);
+
+  /// Record a gdr-fallback event when a device leg of `op` sits on a node
+  /// whose P2P capability has been revoked (fault plans only).
+  void note_gdr_fallback(const RmaOp& op);
+
   /// Largest message Direct/loopback GDR should carry for this op, given
-  /// which legs touch a GPU and the socket placement of each side.
+  /// which legs touch a GPU and the socket placement of each side. Legs on
+  /// a node whose P2P capability was revoked get a limit of 0, steering
+  /// every size onto the GDR-free protocols.
   std::size_t gdr_limit(const RmaOp& op, bool is_get, bool intra_node) const;
 
   Runtime& rt_;

@@ -47,6 +47,22 @@ struct Tuning {
   // ---- baseline (host pipeline) -------------------------------------------
   /// Eager/rendezvous switch of the baseline transport.
   std::size_t eager_limit = 8 * 1024;
+
+  // ---- software fault recovery (tier 2) -----------------------------------
+  // Only consulted when RuntimeOptions::faults is non-empty. Tier 1 (the
+  // HCA retransmit envelope) lives in hw::SystemParams; these govern what
+  // software does once a completion surfaces in error state or a proxy
+  // request times out.
+  /// Re-posts of one operation before the runtime gives up and throws.
+  int max_sw_replays = 12;
+  /// Backoff before replay k is base * 2^k, capped below.
+  double replay_backoff_base_us = 25.0;
+  double replay_backoff_cap_us = 4000.0;
+  /// Requester-side timeout for one proxy request/window before re-issuing
+  /// (scaled up with transfer size internally).
+  double proxy_timeout_us = 4000.0;
+  /// Re-issues of a proxy request before the runtime gives up.
+  int proxy_max_reissues = 8;
 };
 
 }  // namespace gdrshmem::core

@@ -61,6 +61,17 @@ struct SystemParams {
   /// Delay between a completion landing and the polling CPU noticing.
   double completion_poll_us = 0.10;
 
+  // ---- InfiniBand reliability (tier-1, HCA-transparent) -------------------
+  // RC QPs retransmit a failed WQE in hardware before surfacing a
+  // completion error; these model that retry envelope. Only consulted when
+  // a fault plan is active — a healthy fabric never draws on them.
+  /// Retransmit attempts before the CQ reports an error (IB retry_cnt).
+  int ib_retry_count = 7;
+  /// Base retransmit timeout; doubles per attempt (IB timeout encoding).
+  double ib_retry_timeout_us = 12.0;
+  /// Cap on the per-attempt retransmit timeout growth.
+  double ib_retry_timeout_cap_us = 800.0;
+
   // ---- Memory registration ----------------------------------------------
   double mr_register_base_us = 55.0;
   double mr_register_per_mb_us = 90.0;

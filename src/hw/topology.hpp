@@ -53,6 +53,9 @@ struct NodeModel {
   std::vector<GpuDevice> gpus;
   std::vector<HcaDevice> hcas;
   std::unique_ptr<sim::Link> host_mem;  // host memory controller
+  /// PCIe peer-to-peer (GPUDirect) capability. Fault injection can revoke it
+  /// at runtime; transports must then route through host-staged protocols.
+  bool p2p_available = true;
 };
 
 struct ClusterConfig {
@@ -95,6 +98,14 @@ class Cluster {
   int service_endpoint(int n) const { return num_pes() + n; }
   bool same_node(int pe_a, int pe_b) const {
     return placement(pe_a).node == placement(pe_b).node;
+  }
+
+  /// Whether GPUDirect P2P DMA is currently usable on `node_id`.
+  bool p2p_available(int node_id) const { return node(node_id).p2p_available; }
+  /// Withdraw (or restore) P2P capability on a node; the decision points in
+  /// the transports consult this before choosing a GDR protocol.
+  void set_p2p_available(int node_id, bool ok) {
+    node(node_id).p2p_available = ok;
   }
 
   // ---- path builders -----------------------------------------------------

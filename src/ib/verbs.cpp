@@ -1,6 +1,8 @@
 #include "ib/verbs.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <utility>
 
 namespace gdrshmem::ib {
 
@@ -8,6 +10,7 @@ using cudart::MemSpace;
 using sim::Completion;
 using sim::CompletionPtr;
 using sim::Duration;
+using sim::FaultEvent;
 using sim::Path;
 using sim::Time;
 
@@ -79,26 +82,82 @@ Duration Verbs::ack_latency(int src_pe, int dst_pe) const {
                       p.hca_processing_us);
 }
 
+Duration Verbs::retry_delay(int attempt) const {
+  const auto& p = cluster_.params();
+  int exp = std::min(attempt - 1, 16);
+  double t = p.ib_retry_timeout_us * static_cast<double>(1u << exp);
+  return Duration::us(std::min(t, p.ib_retry_timeout_cap_us));
+}
+
+bool Verbs::attempt_fails(int src_pe, int dst_pe, bool atomic) {
+  // Loopback traffic turns around inside the adapter: no cable, no flap,
+  // no wire error — and no randomness consumed.
+  if (cluster_.same_node(src_pe, dst_pe)) return false;
+  int s = cluster_.placement(src_pe).node;
+  int d = cluster_.placement(dst_pe).node;
+  return atomic ? faults_->atomic_attempt_fails(s, d, eng_.now())
+                : faults_->wire_attempt_fails(s, d, eng_.now());
+}
+
+void Verbs::run_attempts(int src_pe, int dst_pe, bool atomic, bool unlimited,
+                         int attempt, CompletionPtr comp,
+                         std::shared_ptr<std::function<void()>> transmit) {
+  if (!attempt_fails(src_pe, dst_pe, atomic)) {
+    (*transmit)();
+    return;
+  }
+  if (!unlimited && attempt > cluster_.params().ib_retry_count) {
+    // Retry envelope exhausted: the WQE is flushed and the CQ reports an
+    // error after the final timeout. Software (tier 2) takes over.
+    faults_->on_event(FaultEvent::kCompletionError, src_pe);
+    eng_.schedule_after(retry_delay(attempt), [this, comp, src_pe] {
+      comp->fire_error();
+      delivered(src_pe);
+    });
+    return;
+  }
+  faults_->on_event(FaultEvent::kRetransmit, src_pe);
+  eng_.schedule_after(
+      retry_delay(attempt),
+      [this, src_pe, dst_pe, atomic, unlimited, attempt, comp, transmit] {
+        run_attempts(src_pe, dst_pe, atomic, unlimited, attempt + 1, comp,
+                     transmit);
+      });
+}
+
 CompletionPtr Verbs::rdma_write(sim::Process& proc, int src_pe, const void* lbuf,
                                 int dst_pe, void* rbuf, std::size_t n) {
   pre_post(proc, dst_pe, rbuf, n);
   reg_cache_.get_or_register(proc, src_pe, lbuf, n);
-  hw::PePlacement src = cluster_.placement(src_pe);
-  hw::PePlacement dst = cluster_.placement(dst_pe);
-  // Source HCA *reads* the local buffer, target side *writes* the remote one.
-  Path path = sim::combine({local_leg(src_pe, lbuf, hw::P2pDir::kRead),
-                            cluster_.wire(src.node, src.hca, dst.node, dst.hca),
-                            local_leg(dst_pe, rbuf, hw::P2pDir::kWrite)});
-  Time data_at_target = path.schedule(eng_.now(), n);
   auto comp = std::make_shared<Completion>();
-  eng_.schedule_at(data_at_target, [this, dst_pe, lbuf, rbuf, n] {
-    std::memcpy(rbuf, lbuf, n);
-    delivered(dst_pe);
-  });
-  eng_.schedule_at(data_at_target + ack_latency(src_pe, dst_pe), [this, comp, src_pe] {
-    comp->fire();
-    delivered(src_pe);  // CQ entry lands at the source
-  });
+  // The successful transmission, scheduled from the instant it runs. With no
+  // fault plan it executes immediately below — the legacy single-shot path.
+  auto transmit = [this, src_pe, lbuf, dst_pe, rbuf, n, comp] {
+    hw::PePlacement src = cluster_.placement(src_pe);
+    hw::PePlacement dst = cluster_.placement(dst_pe);
+    // Source HCA *reads* the local buffer, target side *writes* the remote
+    // one.
+    Path path =
+        sim::combine({local_leg(src_pe, lbuf, hw::P2pDir::kRead),
+                      cluster_.wire(src.node, src.hca, dst.node, dst.hca),
+                      local_leg(dst_pe, rbuf, hw::P2pDir::kWrite)});
+    Time data_at_target = path.schedule(eng_.now(), n);
+    eng_.schedule_at(data_at_target, [this, dst_pe, lbuf, rbuf, n] {
+      std::memcpy(rbuf, lbuf, n);
+      delivered(dst_pe);
+    });
+    eng_.schedule_at(data_at_target + ack_latency(src_pe, dst_pe),
+                     [this, comp, src_pe] {
+                       comp->fire();
+                       delivered(src_pe);  // CQ entry lands at the source
+                     });
+  };
+  if (!fault_active()) {
+    transmit();
+    return comp;
+  }
+  run_attempts(src_pe, dst_pe, /*atomic=*/false, /*unlimited=*/false, 1, comp,
+               std::make_shared<std::function<void()>>(std::move(transmit)));
   return comp;
 }
 
@@ -106,22 +165,32 @@ CompletionPtr Verbs::rdma_read(sim::Process& proc, int src_pe, void* lbuf,
                                int dst_pe, const void* rbuf, std::size_t n) {
   pre_post(proc, dst_pe, rbuf, n);
   reg_cache_.get_or_register(proc, src_pe, lbuf, n);
-  hw::PePlacement src = cluster_.placement(src_pe);
-  hw::PePlacement dst = cluster_.placement(dst_pe);
-  // Request travels to the target, then data streams back: target side reads
-  // its memory (GDR read if on GPU), initiator side writes into lbuf.
-  Path request = cluster_.wire(src.node, src.hca, dst.node, dst.hca);
-  Path back = sim::combine({local_leg(dst_pe, rbuf, hw::P2pDir::kRead),
-                            cluster_.wire(dst.node, dst.hca, src.node, src.hca),
-                            local_leg(src_pe, lbuf, hw::P2pDir::kWrite)});
-  Time request_at_target = request.schedule(eng_.now(), 0);
-  Time data_local = back.schedule(request_at_target, n);
   auto comp = std::make_shared<Completion>();
-  eng_.schedule_at(data_local, [this, comp, src_pe, lbuf, rbuf, n] {
-    std::memcpy(lbuf, rbuf, n);
-    delivered(src_pe);
-    comp->fire();
-  });
+  auto transmit = [this, src_pe, lbuf, dst_pe, rbuf, n, comp] {
+    hw::PePlacement src = cluster_.placement(src_pe);
+    hw::PePlacement dst = cluster_.placement(dst_pe);
+    // Request travels to the target, then data streams back: target side
+    // reads its memory (GDR read if on GPU), initiator side writes into
+    // lbuf.
+    Path request = cluster_.wire(src.node, src.hca, dst.node, dst.hca);
+    Path back =
+        sim::combine({local_leg(dst_pe, rbuf, hw::P2pDir::kRead),
+                      cluster_.wire(dst.node, dst.hca, src.node, src.hca),
+                      local_leg(src_pe, lbuf, hw::P2pDir::kWrite)});
+    Time request_at_target = request.schedule(eng_.now(), 0);
+    Time data_local = back.schedule(request_at_target, n);
+    eng_.schedule_at(data_local, [this, comp, src_pe, lbuf, rbuf, n] {
+      std::memcpy(lbuf, rbuf, n);
+      delivered(src_pe);
+      comp->fire();
+    });
+  };
+  if (!fault_active()) {
+    transmit();
+    return comp;
+  }
+  run_attempts(src_pe, dst_pe, /*atomic=*/false, /*unlimited=*/false, 1, comp,
+               std::make_shared<std::function<void()>>(std::move(transmit)));
   return comp;
 }
 
@@ -129,19 +198,33 @@ CompletionPtr Verbs::post_send(sim::Process& proc, int src_pe, int dst_pe,
                                std::size_t n, std::function<void()> deliver) {
   ++ops_posted_;
   proc.delay(Duration::us(cluster_.params().ib_post_overhead_us));
-  hw::PePlacement src = cluster_.placement(src_pe);
-  hw::PePlacement dst = cluster_.placement(dst_pe);
-  // Control messages live in host memory on both sides.
-  Path path = sim::combine({cluster_.hca_host(src.node, src.hca),
-                            cluster_.wire(src.node, src.hca, dst.node, dst.hca),
-                            cluster_.hca_host(dst.node, dst.hca)});
-  Time at_target = path.schedule(eng_.now(), n);
   auto comp = std::make_shared<Completion>();
-  eng_.schedule_at(at_target, [deliver = std::move(deliver)] { deliver(); });
-  eng_.schedule_at(at_target + ack_latency(src_pe, dst_pe), [this, comp, src_pe] {
-    comp->fire();
-    delivered(src_pe);
-  });
+  auto transmit = [this, src_pe, dst_pe, n, comp,
+                   deliver = std::move(deliver)] {
+    hw::PePlacement src = cluster_.placement(src_pe);
+    hw::PePlacement dst = cluster_.placement(dst_pe);
+    // Control messages live in host memory on both sides.
+    Path path =
+        sim::combine({cluster_.hca_host(src.node, src.hca),
+                      cluster_.wire(src.node, src.hca, dst.node, dst.hca),
+                      cluster_.hca_host(dst.node, dst.hca)});
+    Time at_target = path.schedule(eng_.now(), n);
+    eng_.schedule_at(at_target, [deliver] { deliver(); });
+    eng_.schedule_at(at_target + ack_latency(src_pe, dst_pe),
+                     [this, comp, src_pe] {
+                       comp->fire();
+                       delivered(src_pe);
+                     });
+  };
+  if (!fault_active()) {
+    transmit();
+    return comp;
+  }
+  // Control messages ride the reliable channel: the HCA retransmits until
+  // the message gets through (capped-exponential spacing), so the protocol
+  // state machines above never see a lost ctrl message — only delay.
+  run_attempts(src_pe, dst_pe, /*atomic=*/false, /*unlimited=*/true, 1, comp,
+               std::make_shared<std::function<void()>>(std::move(transmit)));
   return comp;
 }
 
@@ -149,29 +232,53 @@ CompletionPtr Verbs::atomic_fadd64(sim::Process& proc, int src_pe, int dst_pe,
                                    std::uint64_t* raddr, std::uint64_t add,
                                    std::uint64_t* result) {
   pre_post(proc, dst_pe, raddr, sizeof(std::uint64_t));
-  hw::PePlacement src = cluster_.placement(src_pe);
-  hw::PePlacement dst = cluster_.placement(dst_pe);
-  const auto& p = cluster_.params();
-  // Request to the target HCA, RMW over PCIe (read + write the word), then
-  // the old value rides the ACK back.
-  Path there = cluster_.wire(src.node, src.hca, dst.node, dst.hca);
-  Time at_hca = there.schedule(eng_.now(), sizeof(std::uint64_t));
-  Path rd = local_leg(dst_pe, raddr, hw::P2pDir::kRead);
-  Path wr = local_leg(dst_pe, raddr, hw::P2pDir::kWrite);
-  Time done_rmw = at_hca + Duration::us(p.ib_atomic_exec_us) +
-                  rd.cost(sizeof(std::uint64_t)) + wr.cost(sizeof(std::uint64_t));
-  Path backwire = cluster_.wire(dst.node, dst.hca, src.node, src.hca);
-  Time reply_local = backwire.schedule(done_rmw, sizeof(std::uint64_t));
   auto comp = std::make_shared<Completion>();
-  eng_.schedule_at(done_rmw, [this, dst_pe, raddr, add, result] {
-    *result = *raddr;
-    *raddr += add;
-    delivered(dst_pe);
-  });
-  eng_.schedule_at(reply_local, [this, comp, src_pe] {
-    comp->fire();
-    delivered(src_pe);
-  });
+  auto transmit = [this, src_pe, dst_pe, raddr, add, result, comp] {
+    hw::PePlacement src = cluster_.placement(src_pe);
+    hw::PePlacement dst = cluster_.placement(dst_pe);
+    const auto& p = cluster_.params();
+    // Request to the target HCA, RMW over PCIe (read + write the word), then
+    // the old value rides the ACK back.
+    Path there = cluster_.wire(src.node, src.hca, dst.node, dst.hca);
+    Time at_hca = there.schedule(eng_.now(), sizeof(std::uint64_t));
+    Duration rmw_extra = Duration::us(p.ib_atomic_exec_us);
+    Path rd, wr;
+    cudart::PtrAttr a = cuda_.attributes(raddr);
+    if (a.space == MemSpace::kDevice && !cluster_.p2p_available(dst.node)) {
+      // P2P revoked: the HCA can no longer RMW GPU BAR memory directly. A
+      // host agent bounces the word through host memory (CPU-assisted
+      // atomic) — correct, but it pays two copy-engine launches.
+      rd = cluster_.hca_host(dst.node, dst.hca);
+      wr = cluster_.hca_host(dst.node, dst.hca);
+      rmw_extra = rmw_extra + Duration::us(2 * p.cuda_copy_launch_us);
+      if (faults_) faults_->on_event(FaultEvent::kGdrFallback, dst_pe);
+    } else {
+      rd = local_leg(dst_pe, raddr, hw::P2pDir::kRead);
+      wr = local_leg(dst_pe, raddr, hw::P2pDir::kWrite);
+    }
+    Time done_rmw = at_hca + rmw_extra + rd.cost(sizeof(std::uint64_t)) +
+                    wr.cost(sizeof(std::uint64_t));
+    Path backwire = cluster_.wire(dst.node, dst.hca, src.node, src.hca);
+    Time reply_local = backwire.schedule(done_rmw, sizeof(std::uint64_t));
+    eng_.schedule_at(done_rmw, [this, dst_pe, raddr, add, result] {
+      *result = *raddr;
+      *raddr += add;
+      delivered(dst_pe);
+    });
+    eng_.schedule_at(reply_local, [this, comp, src_pe] {
+      comp->fire();
+      delivered(src_pe);
+    });
+  };
+  if (!fault_active()) {
+    transmit();
+    return comp;
+  }
+  // A failed atomic attempt models the request lost *before* the RMW
+  // executed, so the hardware retransmit (and any software replay) cannot
+  // double-apply it.
+  run_attempts(src_pe, dst_pe, /*atomic=*/true, /*unlimited=*/false, 1, comp,
+               std::make_shared<std::function<void()>>(std::move(transmit)));
   return comp;
 }
 
@@ -179,27 +286,45 @@ CompletionPtr Verbs::atomic_cswap64(sim::Process& proc, int src_pe, int dst_pe,
                                     std::uint64_t* raddr, std::uint64_t compare,
                                     std::uint64_t swap, std::uint64_t* result) {
   pre_post(proc, dst_pe, raddr, sizeof(std::uint64_t));
-  hw::PePlacement src = cluster_.placement(src_pe);
-  hw::PePlacement dst = cluster_.placement(dst_pe);
-  const auto& p = cluster_.params();
-  Path there = cluster_.wire(src.node, src.hca, dst.node, dst.hca);
-  Time at_hca = there.schedule(eng_.now(), sizeof(std::uint64_t));
-  Path rd = local_leg(dst_pe, raddr, hw::P2pDir::kRead);
-  Path wr = local_leg(dst_pe, raddr, hw::P2pDir::kWrite);
-  Time done_rmw = at_hca + Duration::us(p.ib_atomic_exec_us) +
-                  rd.cost(sizeof(std::uint64_t)) + wr.cost(sizeof(std::uint64_t));
-  Path backwire = cluster_.wire(dst.node, dst.hca, src.node, src.hca);
-  Time reply_local = backwire.schedule(done_rmw, sizeof(std::uint64_t));
   auto comp = std::make_shared<Completion>();
-  eng_.schedule_at(done_rmw, [this, dst_pe, raddr, compare, swap, result] {
-    *result = *raddr;
-    if (*raddr == compare) *raddr = swap;
-    delivered(dst_pe);
-  });
-  eng_.schedule_at(reply_local, [this, comp, src_pe] {
-    comp->fire();
-    delivered(src_pe);
-  });
+  auto transmit = [this, src_pe, dst_pe, raddr, compare, swap, result, comp] {
+    hw::PePlacement src = cluster_.placement(src_pe);
+    hw::PePlacement dst = cluster_.placement(dst_pe);
+    const auto& p = cluster_.params();
+    Path there = cluster_.wire(src.node, src.hca, dst.node, dst.hca);
+    Time at_hca = there.schedule(eng_.now(), sizeof(std::uint64_t));
+    Duration rmw_extra = Duration::us(p.ib_atomic_exec_us);
+    Path rd, wr;
+    cudart::PtrAttr a = cuda_.attributes(raddr);
+    if (a.space == MemSpace::kDevice && !cluster_.p2p_available(dst.node)) {
+      rd = cluster_.hca_host(dst.node, dst.hca);
+      wr = cluster_.hca_host(dst.node, dst.hca);
+      rmw_extra = rmw_extra + Duration::us(2 * p.cuda_copy_launch_us);
+      if (faults_) faults_->on_event(FaultEvent::kGdrFallback, dst_pe);
+    } else {
+      rd = local_leg(dst_pe, raddr, hw::P2pDir::kRead);
+      wr = local_leg(dst_pe, raddr, hw::P2pDir::kWrite);
+    }
+    Time done_rmw = at_hca + rmw_extra + rd.cost(sizeof(std::uint64_t)) +
+                    wr.cost(sizeof(std::uint64_t));
+    Path backwire = cluster_.wire(dst.node, dst.hca, src.node, src.hca);
+    Time reply_local = backwire.schedule(done_rmw, sizeof(std::uint64_t));
+    eng_.schedule_at(done_rmw, [this, dst_pe, raddr, compare, swap, result] {
+      *result = *raddr;
+      if (*raddr == compare) *raddr = swap;
+      delivered(dst_pe);
+    });
+    eng_.schedule_at(reply_local, [this, comp, src_pe] {
+      comp->fire();
+      delivered(src_pe);
+    });
+  };
+  if (!fault_active()) {
+    transmit();
+    return comp;
+  }
+  run_attempts(src_pe, dst_pe, /*atomic=*/true, /*unlimited=*/false, 1, comp,
+               std::make_shared<std::function<void()>>(std::move(transmit)));
   return comp;
 }
 

@@ -16,6 +16,7 @@
 
 #include "cudart/cudart.hpp"
 #include "hw/topology.hpp"
+#include "sim/fault.hpp"
 #include "sim/future.hpp"
 
 namespace gdrshmem::ib {
@@ -70,6 +71,15 @@ class Verbs {
     delivery_hook_ = std::move(hook);
   }
 
+  /// Attach a fault injector (owned by the runtime). When the injector's
+  /// plan is non-empty, every inter-node attempt consults it and failed
+  /// attempts are retransmitted transparently up to SystemParams::
+  /// ib_retry_count times (exponentially spaced, the RC-QP retry envelope)
+  /// before the returned completion fires in *error* state. With no
+  /// injector — or an empty plan — the legacy single-shot scheduling runs
+  /// verbatim, preserving bit-identical event order.
+  void set_fault_injector(sim::FaultInjector* inj) { faults_ = inj; }
+
   /// One-sided RDMA write of `n` bytes from `src_pe`-local `lbuf` into
   /// `dst_pe`'s `rbuf`. The caller is charged the post overhead; the
   /// returned completion fires when the hardware ACK lands (the source
@@ -112,6 +122,21 @@ class Verbs {
   void pre_post(sim::Process& proc, int dst_pe, const void* raddr, std::size_t n);
   sim::Duration ack_latency(int src_pe, int dst_pe) const;
 
+  // ---- tier-1 retransmit machinery (fault plans only) ---------------------
+  bool fault_active() const { return faults_ && faults_->enabled(); }
+  /// Retransmit timeout before attempt `attempt + 1` (IB-style doubling,
+  /// capped).
+  sim::Duration retry_delay(int attempt) const;
+  /// True if this attempt between the endpoints' nodes fails (flap window or
+  /// random completion error). Loopback never consults the injector.
+  bool attempt_fails(int src_pe, int dst_pe, bool atomic);
+  /// Drive one attempt of `transmit` (which performs the legacy scheduling
+  /// for the op); on failure, reschedule after the retransmit timeout, and
+  /// after ib_retry_count retries surface an error completion at the source.
+  void run_attempts(int src_pe, int dst_pe, bool atomic, bool unlimited,
+                    int attempt, sim::CompletionPtr comp,
+                    std::shared_ptr<std::function<void()>> transmit);
+
   void delivered(int endpoint) {
     if (delivery_hook_) delivery_hook_(endpoint);
   }
@@ -121,6 +146,7 @@ class Verbs {
   cudart::CudaRuntime& cuda_;
   RegistrationCache reg_cache_;
   std::function<void(int)> delivery_hook_;
+  sim::FaultInjector* faults_ = nullptr;
   std::uint64_t ops_posted_ = 0;
 };
 

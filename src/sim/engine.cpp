@@ -67,6 +67,10 @@ void Notification::notify() {
   std::vector<Process*> woken;
   woken.swap(waiters_);
   for (Process* p : woken) {
+    // A process killed while blocked here has already been unwound; its
+    // execution context is gone and must never be rescheduled. Process::await
+    // deregisters on unwind, so this is a backstop against stale pointers.
+    if (p->state_ == Process::State::kDone) continue;
     Engine& eng = p->engine();
     eng.schedule_at(eng.now(), [&eng, p] { eng.run_process(*p); });
     p->state_ = Process::State::kReady;
@@ -104,7 +108,16 @@ void Process::await(Notification& n) {
   check_killed();
   n.waiters_.push_back(this);
   state_ = State::kBlocked;
-  yield_to_engine();
+  try {
+    yield_to_engine();
+  } catch (...) {
+    // Killed while blocked: a normal wakeup swaps us out of the waiter list
+    // inside notify(), but a kill resumes us directly, so we are still
+    // registered. Deregister before unwinding, or a later notify() would
+    // resume this process's reclaimed execution context.
+    std::erase(n.waiters_, this);
+    throw;
+  }
   state_ = State::kRunning;
 }
 

@@ -150,6 +150,12 @@ class Engine {
   /// Kill and unwind all daemon processes (also done by run() on completion).
   void shutdown_daemons();
 
+  /// Forcibly unwind one process: ProcessKilled is raised at its current
+  /// wait point and its stack is reclaimed. Safe to call from event context
+  /// on blocked or ready processes; no-op if the process already finished.
+  /// Used by fault injection to crash a proxy daemon mid-transfer.
+  void kill(Process& p) { kill_process(p); }
+
   /// Number of events executed so far (diagnostic).
   std::uint64_t events_executed() const { return events_executed_; }
 

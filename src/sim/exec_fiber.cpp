@@ -18,6 +18,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <new>
 #include <string>
@@ -156,7 +157,13 @@ class FiberBackend final : public ExecutionBackend {
     run_body(*fx->proc);
     // Final swap: the fiber is done and will never be resumed again.
     be->switch_to_engine(fx, /*dying=*/true);
-    assert(false && "finished fiber must never be resumed");
+    // Resuming a finished fiber would land here and then fall off the end of
+    // the entry function; with uc_link == nullptr ucontext responds with a
+    // silent exit(). Abort unconditionally so such a bug is loud in every
+    // build configuration, not just ones with asserts enabled.
+    std::fprintf(stderr, "fatal: finished fiber '%s' was resumed\n",
+                 fx->proc->name().c_str());
+    std::abort();
   }
 
   void switch_to_engine(FiberExec* fx, bool dying) {

@@ -1,0 +1,176 @@
+#include "sim/fault.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace gdrshmem::sim {
+namespace {
+
+[[noreturn]] void bad(std::string_view entry, const std::string& why) {
+  throw std::invalid_argument("FaultPlan: bad entry \"" + std::string(entry) +
+                              "\": " + why);
+}
+
+double parse_double(std::string_view entry, std::string_view text) {
+  try {
+    std::size_t used = 0;
+    double v = std::stod(std::string(text), &used);
+    if (used != text.size()) bad(entry, "trailing characters in number");
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad(entry, "not a number: \"" + std::string(text) + "\"");
+  } catch (const std::out_of_range&) {
+    bad(entry, "number out of range: \"" + std::string(text) + "\"");
+  }
+}
+
+std::uint64_t parse_u64(std::string_view entry, std::string_view text) {
+  try {
+    std::size_t used = 0;
+    unsigned long long v = std::stoull(std::string(text), &used);
+    if (used != text.size()) bad(entry, "trailing characters in number");
+    return v;
+  } catch (const std::exception&) {
+    bad(entry, "not an unsigned integer: \"" + std::string(text) + "\"");
+  }
+}
+
+int parse_node(std::string_view entry, std::string_view text) {
+  auto v = parse_u64(entry, text);
+  if (v > 4096) bad(entry, "node index out of range");
+  return static_cast<int>(v);
+}
+
+double parse_time_us(std::string_view entry, std::string_view text) {
+  double v = parse_double(entry, text);
+  if (v < 0) bad(entry, "time must be >= 0");
+  return v;
+}
+
+/// Split "NODE@REST" and return {node, REST}.
+std::pair<int, std::string_view> split_at(std::string_view entry,
+                                          std::string_view value) {
+  auto at = value.find('@');
+  if (at == std::string_view::npos) bad(entry, "expected NODE@TIME_US");
+  return {parse_node(entry, value.substr(0, at)), value.substr(at + 1)};
+}
+
+std::string fmt_us(double us) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%g", us);
+  return buf;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    auto comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty()) continue;  // tolerate stray commas
+    auto eq = entry.find('=');
+    if (eq == std::string_view::npos) bad(entry, "expected key=value");
+    std::string_view key = entry.substr(0, eq);
+    std::string_view value = entry.substr(eq + 1);
+    if (key == "seed") {
+      plan.seed = parse_u64(entry, value);
+    } else if (key == "wire_error_rate") {
+      plan.wire_error_rate = parse_double(entry, value);
+      if (plan.wire_error_rate < 0 || plan.wire_error_rate >= 1)
+        bad(entry, "rate must be in [0, 1)");
+    } else if (key == "atomic_error_rate") {
+      plan.atomic_error_rate = parse_double(entry, value);
+      if (plan.atomic_error_rate < 0 || plan.atomic_error_rate >= 1)
+        bad(entry, "rate must be in [0, 1)");
+    } else if (key == "restart_us") {
+      plan.proxy_restart_us = parse_time_us(entry, value);
+    } else if (key == "flap") {
+      auto [node, rest] = split_at(entry, value);
+      auto plus = rest.find('+');
+      if (plus == std::string_view::npos)
+        bad(entry, "expected NODE@START_US+DURATION_US");
+      LinkFlap f{node, parse_time_us(entry, rest.substr(0, plus)),
+                 parse_time_us(entry, rest.substr(plus + 1))};
+      if (f.duration_us <= 0) bad(entry, "flap duration must be > 0");
+      plan.flaps.push_back(f);
+    } else if (key == "crash") {
+      auto [node, rest] = split_at(entry, value);
+      plan.crashes.push_back(ProxyCrash{node, parse_time_us(entry, rest)});
+    } else if (key == "revoke") {
+      auto [node, rest] = split_at(entry, value);
+      plan.revokes.push_back(P2pRevoke{node, parse_time_us(entry, rest)});
+    } else {
+      bad(entry,
+          "unknown key \"" + std::string(key) +
+              "\" (known: seed, wire_error_rate, atomic_error_rate, "
+              "restart_us, flap, crash, revoke)");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::spec() const {
+  std::string s = "seed=" + std::to_string(seed);
+  if (wire_error_rate > 0) s += ",wire_error_rate=" + fmt_us(wire_error_rate);
+  if (atomic_error_rate > 0)
+    s += ",atomic_error_rate=" + fmt_us(atomic_error_rate);
+  if (proxy_restart_us != 300)
+    s += ",restart_us=" + fmt_us(proxy_restart_us);
+  for (const auto& f : flaps)
+    s += ",flap=" + std::to_string(f.node) + "@" + fmt_us(f.at_us) + "+" +
+         fmt_us(f.duration_us);
+  for (const auto& c : crashes)
+    s += ",crash=" + std::to_string(c.node) + "@" + fmt_us(c.at_us);
+  for (const auto& r : revokes)
+    s += ",revoke=" + std::to_string(r.node) + "@" + fmt_us(r.at_us);
+  return s;
+}
+
+const char* to_string(FaultEvent ev) {
+  switch (ev) {
+    case FaultEvent::kRetransmit: return "retransmit";
+    case FaultEvent::kCompletionError: return "completion-error";
+    case FaultEvent::kSwReplay: return "sw-replay";
+    case FaultEvent::kGdrFallback: return "gdr-fallback";
+    case FaultEvent::kProxyCrash: return "proxy-crash";
+    case FaultEvent::kProxyRestart: return "proxy-restart";
+    case FaultEvent::kProxyReissue: return "proxy-reissue";
+    case FaultEvent::kStaleCtrlDrop: return "stale-ctrl-drop";
+    case FaultEvent::kP2pRevoke: return "p2p-revoke";
+    case FaultEvent::kCount_: break;
+  }
+  return "?";
+}
+
+bool FaultInjector::link_down(int src_node, int dst_node, Time now) const {
+  const double now_us = now.to_us();
+  for (const auto& f : plan_.flaps) {
+    if (f.node != src_node && f.node != dst_node) continue;
+    if (now_us >= f.at_us && now_us < f.at_us + f.duration_us) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::wire_attempt_fails(int src_node, int dst_node, Time now) {
+  if (link_down(src_node, dst_node, now)) return true;
+  if (plan_.wire_error_rate <= 0) return false;
+  return rng_.next_double() < plan_.wire_error_rate;
+}
+
+bool FaultInjector::atomic_attempt_fails(int src_node, int dst_node,
+                                         Time now) {
+  if (link_down(src_node, dst_node, now)) return true;
+  if (plan_.atomic_error_rate <= 0) return false;
+  return rng_.next_double() < plan_.atomic_error_rate;
+}
+
+void FaultInjector::on_event(FaultEvent ev, int endpoint) {
+  ++counts_[static_cast<std::size_t>(ev)];
+  if (hook_) hook_(ev, endpoint);
+}
+
+}  // namespace gdrshmem::sim

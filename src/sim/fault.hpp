@@ -1,0 +1,133 @@
+// Deterministic fault injection for the simulated fabric.
+//
+// A FaultPlan is a declarative, seeded schedule of failures expressed in
+// virtual time: per-attempt wire/atomic completion-error rates, transient
+// link flaps (an HCA port down for a window), proxy-daemon crashes, and
+// P2P (GPUDirect) capability revocation on a node. The plan is plain data —
+// it can be built programmatically or parsed from the GDRSHMEM_FAULTS
+// environment variable — and a FaultInjector turns it into per-attempt
+// decisions using a splitmix64 stream, so the same seed yields bit-identical
+// failure sequences on both execution backends.
+//
+// The injector also centralizes fault/recovery accounting: every layer
+// (verbs retransmit logic, transport replay, proxy restart) reports through
+// on_event(), and an optional hook lets the runtime mirror events into the
+// operation tracer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace gdrshmem::sim {
+
+/// HCA port on `node` is down during [at_us, at_us + duration_us).
+struct LinkFlap {
+  int node = 0;
+  double at_us = 0;
+  double duration_us = 0;
+};
+
+/// The proxy daemon on `node` is killed at at_us (it restarts after the
+/// plan's restart delay).
+struct ProxyCrash {
+  int node = 0;
+  double at_us = 0;
+};
+
+/// GPUDirect P2P capability on `node` is revoked at at_us (permanently).
+struct P2pRevoke {
+  int node = 0;
+  double at_us = 0;
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double wire_error_rate = 0;    // per-attempt RDMA/send completion error
+  double atomic_error_rate = 0;  // per-attempt remote-atomic request loss
+  double proxy_restart_us = 300; // daemon respawn delay after a crash
+  std::vector<LinkFlap> flaps;
+  std::vector<ProxyCrash> crashes;
+  std::vector<P2pRevoke> revokes;
+
+  /// True when the plan injects anything at all. An empty plan guarantees
+  /// the legacy (fault-free) code paths run verbatim.
+  bool enabled() const {
+    return wire_error_rate > 0 || atomic_error_rate > 0 || !flaps.empty() ||
+           !crashes.empty() || !revokes.empty();
+  }
+
+  /// Parse the GDRSHMEM_FAULTS grammar: comma-separated key=value pairs.
+  ///   seed=42,wire_error_rate=1e-3,atomic_error_rate=1e-3,restart_us=300,
+  ///   flap=NODE@START_US+DURATION_US,crash=NODE@TIME_US,revoke=NODE@TIME_US
+  /// flap/crash/revoke may repeat. Unknown keys and out-of-range values
+  /// throw std::invalid_argument naming the offending entry.
+  static FaultPlan parse(std::string_view spec);
+
+  /// Canonical spec string; parse(spec()) round-trips the plan.
+  std::string spec() const;
+};
+
+/// Categories of injected faults and recovery actions, used for counters and
+/// trace mirroring.
+enum class FaultEvent {
+  kRetransmit,       // tier-1 HCA retransmit of a failed attempt
+  kCompletionError,  // tier-1 retries exhausted; error surfaced in the CQ
+  kSwReplay,         // software re-posted an op after a surfaced error
+  kGdrFallback,      // op rerouted off a GDR protocol (P2P revoked)
+  kProxyCrash,       // proxy daemon killed
+  kProxyRestart,     // proxy daemon respawned
+  kProxyReissue,     // requester timed out and re-sent a proxy request
+  kStaleCtrlDrop,    // restarted/recovering proxy discarded a stale message
+  kP2pRevoke,        // P2P capability withdrawn on a node
+  kCount_,
+};
+
+const char* to_string(FaultEvent ev);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan)
+      : plan_(std::move(plan)), rng_(plan_.seed) {}
+
+  bool enabled() const { return plan_.enabled(); }
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Is either endpoint's HCA port inside a flap window at `now`?
+  bool link_down(int src_node, int dst_node, Time now) const;
+
+  /// Decide one wire attempt (RDMA write/read or send) between two nodes.
+  /// Consumes randomness only when a probabilistic rate is configured.
+  bool wire_attempt_fails(int src_node, int dst_node, Time now);
+
+  /// Decide one remote-atomic attempt. A failed attempt models the request
+  /// lost before the RMW executed, so replaying it is safe.
+  bool atomic_attempt_fails(int src_node, int dst_node, Time now);
+
+  /// Record a fault/recovery event (counted; forwarded to the hook if set).
+  void on_event(FaultEvent ev, int endpoint);
+
+  std::uint64_t count(FaultEvent ev) const {
+    return counts_[static_cast<std::size_t>(ev)];
+  }
+
+  /// Observer invoked on every on_event (e.g. to mirror into a tracer).
+  void set_hook(std::function<void(FaultEvent, int endpoint)> hook) {
+    hook_ = std::move(hook);
+  }
+
+ private:
+  FaultPlan plan_;
+  Rng rng_;
+  std::array<std::uint64_t, static_cast<std::size_t>(FaultEvent::kCount_)>
+      counts_{};
+  std::function<void(FaultEvent, int)> hook_;
+};
+
+}  // namespace gdrshmem::sim

@@ -12,6 +12,12 @@ class Completion {
  public:
   bool done() const { return fired_; }
 
+  /// Fired, but in error state (the CQ analog of a flushed/failed WQE).
+  bool failed() const { return fired_ && !ok_; }
+
+  /// Fired successfully.
+  bool ok() const { return fired_ && ok_; }
+
   /// Mark complete and wake waiters (call from engine/event context at the
   /// completion instant).
   void fire() {
@@ -19,13 +25,23 @@ class Completion {
     done_.notify();
   }
 
-  /// Block the calling process until fire().
+  /// Mark complete *with error* and wake waiters. Waiters must check
+  /// failed() and decide whether to re-post the operation.
+  void fire_error() {
+    ok_ = false;
+    fired_ = true;
+    done_.notify();
+  }
+
+  /// Block the calling process until fire() or fire_error(); check failed()
+  /// afterwards when fault injection is active.
   void wait(Process& proc) {
     proc.await_until(done_, [this] { return fired_; });
   }
 
  private:
   bool fired_ = false;
+  bool ok_ = true;
   Notification done_;
 };
 

@@ -38,6 +38,29 @@ class Mailbox {
     return msg;
   }
 
+  /// Blocking receive with a deadline: returns nullopt if no message arrived
+  /// by `deadline`. Schedules one wake event at the deadline, so use only
+  /// where a timeout is genuinely needed (fault-recovery paths) — the event
+  /// keeps the simulation alive until it fires.
+  std::optional<T> receive_until(Process& self, Time deadline) {
+    Engine& eng = self.engine();
+    if (eng.now() < deadline) {
+      eng.schedule_at(deadline, [this] { available_.notify(); });
+    }
+    self.await_until(available_, [this, &eng, deadline] {
+      return !queue_.empty() || eng.now() >= deadline;
+    });
+    return try_receive();
+  }
+
+  /// Discard all queued messages (proxy restart drops stale in-flight ctrl
+  /// traffic; requesters re-issue).
+  std::size_t clear() {
+    std::size_t n = queue_.size();
+    queue_.clear();
+    return n;
+  }
+
  private:
   std::deque<T> queue_;
   Notification available_;

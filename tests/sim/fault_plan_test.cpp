@@ -1,0 +1,144 @@
+// FaultPlan grammar and FaultInjector determinism, independent of the
+// runtime: the plan is plain data, the injector a seeded decision stream.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/fault.hpp"
+
+namespace gdrshmem::sim {
+namespace {
+
+TEST(FaultPlan, EmptySpecIsDisabled) {
+  FaultPlan plan = FaultPlan::parse("");
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_EQ(plan.seed, 1u);
+  EXPECT_EQ(plan.wire_error_rate, 0.0);
+  EXPECT_DOUBLE_EQ(plan.proxy_restart_us, 300.0);
+  EXPECT_FALSE(FaultInjector(plan).enabled());
+}
+
+TEST(FaultPlan, ParsesEveryKey) {
+  FaultPlan plan = FaultPlan::parse(
+      "seed=42,wire_error_rate=1e-3,atomic_error_rate=2e-4,restart_us=450,"
+      "flap=1@100+50,crash=2@700,revoke=0@1200");
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.wire_error_rate, 1e-3);
+  EXPECT_DOUBLE_EQ(plan.atomic_error_rate, 2e-4);
+  EXPECT_DOUBLE_EQ(plan.proxy_restart_us, 450.0);
+  ASSERT_EQ(plan.flaps.size(), 1u);
+  EXPECT_EQ(plan.flaps[0].node, 1);
+  EXPECT_DOUBLE_EQ(plan.flaps[0].at_us, 100.0);
+  EXPECT_DOUBLE_EQ(plan.flaps[0].duration_us, 50.0);
+  ASSERT_EQ(plan.crashes.size(), 1u);
+  EXPECT_EQ(plan.crashes[0].node, 2);
+  EXPECT_DOUBLE_EQ(plan.crashes[0].at_us, 700.0);
+  ASSERT_EQ(plan.revokes.size(), 1u);
+  EXPECT_EQ(plan.revokes[0].node, 0);
+  EXPECT_DOUBLE_EQ(plan.revokes[0].at_us, 1200.0);
+}
+
+TEST(FaultPlan, SpecRoundTrips) {
+  FaultPlan plan = FaultPlan::parse(
+      "seed=7,wire_error_rate=0.01,flap=0@10+20,flap=3@500+80,crash=1@250,"
+      "revoke=2@0");
+  FaultPlan reparsed = FaultPlan::parse(plan.spec());
+  EXPECT_EQ(reparsed.spec(), plan.spec());
+  EXPECT_EQ(reparsed.seed, plan.seed);
+  EXPECT_DOUBLE_EQ(reparsed.wire_error_rate, plan.wire_error_rate);
+  EXPECT_EQ(reparsed.flaps.size(), plan.flaps.size());
+  EXPECT_EQ(reparsed.crashes.size(), plan.crashes.size());
+  EXPECT_EQ(reparsed.revokes.size(), plan.revokes.size());
+}
+
+TEST(FaultPlan, ToleratesStrayCommas) {
+  FaultPlan plan = FaultPlan::parse(",seed=9,,wire_error_rate=1e-2,");
+  EXPECT_EQ(plan.seed, 9u);
+  EXPECT_DOUBLE_EQ(plan.wire_error_rate, 1e-2);
+}
+
+TEST(FaultPlan, RejectsBadSpecs) {
+  EXPECT_THROW(FaultPlan::parse("bogus_key=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("seed"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("wire_error_rate=1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("wire_error_rate=-0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("wire_error_rate=abc"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("atomic_error_rate=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("flap=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("flap=1@100"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash=1@-5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash=99999@0"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("revoke=x@0"), std::invalid_argument);
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  FaultPlan plan = FaultPlan::parse("seed=123,wire_error_rate=0.05");
+  FaultInjector a(plan), b(plan);
+  int failures = 0;
+  for (int i = 0; i < 4096; ++i) {
+    Time now = Time::zero() + Duration::us(i);
+    bool fa = a.wire_attempt_fails(0, 1, now);
+    bool fb = b.wire_attempt_fails(0, 1, now);
+    ASSERT_EQ(fa, fb) << "attempt " << i;
+    failures += fa ? 1 : 0;
+  }
+  // Rate 5% over 4096 attempts: some must fail, most must succeed.
+  EXPECT_GT(failures, 0);
+  EXPECT_LT(failures, 4096 / 2);
+}
+
+TEST(FaultInjector, ZeroRateConsumesNoRandomnessAndNeverFails) {
+  FaultPlan plan;  // empty: all rates zero
+  FaultInjector inj(plan);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(inj.wire_attempt_fails(0, 1, Time::zero()));
+    EXPECT_FALSE(inj.atomic_attempt_fails(0, 1, Time::zero()));
+  }
+}
+
+TEST(FaultInjector, LinkDownTracksFlapWindows) {
+  FaultPlan plan = FaultPlan::parse("flap=1@100+50");
+  FaultInjector inj(plan);
+  auto at = [](double us) { return Time::zero() + Duration::us(us); };
+  // Before, inside, and after the [100, 150) window, on either endpoint.
+  EXPECT_FALSE(inj.link_down(0, 1, at(99)));
+  EXPECT_TRUE(inj.link_down(0, 1, at(100)));
+  EXPECT_TRUE(inj.link_down(1, 0, at(125)));
+  EXPECT_FALSE(inj.link_down(0, 1, at(150)));
+  // A link not touching node 1 never sees the flap.
+  EXPECT_FALSE(inj.link_down(0, 2, at(125)));
+  // During the window every attempt on the flapped link fails
+  // deterministically, with no probabilistic rate configured.
+  EXPECT_TRUE(inj.wire_attempt_fails(0, 1, at(125)));
+  EXPECT_FALSE(inj.wire_attempt_fails(0, 2, at(125)));
+}
+
+TEST(FaultInjector, CountsAndHook) {
+  FaultInjector inj(FaultPlan::parse("wire_error_rate=1e-3"));
+  std::vector<std::pair<FaultEvent, int>> seen;
+  inj.set_hook([&](FaultEvent ev, int endpoint) { seen.emplace_back(ev, endpoint); });
+  inj.on_event(FaultEvent::kRetransmit, 3);
+  inj.on_event(FaultEvent::kRetransmit, 4);
+  inj.on_event(FaultEvent::kSwReplay, 3);
+  EXPECT_EQ(inj.count(FaultEvent::kRetransmit), 2u);
+  EXPECT_EQ(inj.count(FaultEvent::kSwReplay), 1u);
+  EXPECT_EQ(inj.count(FaultEvent::kCompletionError), 0u);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<FaultEvent, int>{FaultEvent::kRetransmit, 3}));
+  EXPECT_EQ(seen[2], (std::pair<FaultEvent, int>{FaultEvent::kSwReplay, 3}));
+}
+
+TEST(FaultEventNames, AllDistinctAndNonNull) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(FaultEvent::kCount_); ++i) {
+    const char* name = to_string(static_cast<FaultEvent>(i));
+    ASSERT_NE(name, nullptr);
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_STRNE(name, to_string(static_cast<FaultEvent>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gdrshmem::sim
