@@ -68,5 +68,5 @@ int main(int argc, char** argv) {
     bench::add_point(tag + "/steady", p.steady_us);
   }
   std::printf("\n");
-  return bench::report_and_run(argc, argv);
+  return bench::report_and_run(argc, argv, "ablation_regcache");
 }

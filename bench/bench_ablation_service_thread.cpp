@@ -101,5 +101,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\nthe service thread fixes overlap but taxes every compute\n"
               "phase; the proxy gets both (the paper's choice).\n\n");
-  return bench::report_and_run(argc, argv);
+  return bench::report_and_run(argc, argv, "ablation_service_thread");
 }

@@ -69,5 +69,5 @@ int main(int argc, char** argv) {
     if (hyb[i].latency_us > 1.15 * best) ok = false;
   }
   std::printf("%s\n\n", ok ? "yes" : "NO");
-  return bench::report_and_run(argc, argv);
+  return bench::report_and_run(argc, argv, "ablation_thresholds");
 }

@@ -66,5 +66,5 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n");
-  return bench::report_and_run(argc, argv);
+  return bench::report_and_run(argc, argv, "atomics");
 }

@@ -58,5 +58,5 @@ int main(int argc, char** argv) {
   }
   std::printf("\n(two FDR HCAs per node: aggregate should plateau around\n"
               " 2 x 6397 MB/s while per-pair bandwidth shrinks)\n\n");
-  return bench::report_and_run(argc, argv);
+  return bench::report_and_run(argc, argv, "contention");
 }

@@ -107,5 +107,5 @@ int main(int argc, char** argv) {
                 rates.back(), 100.0 * worst / armed_clean);
   }
   std::printf("\n");
-  return bench::report_and_run(argc, argv);
+  return bench::report_and_run(argc, argv, "fault_degradation");
 }

@@ -42,5 +42,5 @@ void panel(const char* name, std::size_t bytes,
 int main(int argc, char** argv) {
   panel("medium", 8 * 1024, {10, 25, 50, 100, 200, 400});
   panel("large", 1u << 20, {100, 250, 500, 1000, 2000, 4000});
-  return bench::report_and_run(argc, argv);
+  return bench::report_and_run(argc, argv, "fig10");
 }

@@ -61,5 +61,5 @@ void panel(std::size_t n) {
 int main(int argc, char** argv) {
   panel(1024);
   panel(2048);
-  return bench::report_and_run(argc, argv);
+  return bench::report_and_run(argc, argv, "fig11");
 }

@@ -79,5 +79,5 @@ void weak_scaling() {
 int main(int argc, char** argv) {
   strong_scaling();
   weak_scaling();
-  return bench::report_and_run(argc, argv);
+  return bench::report_and_run(argc, argv, "fig12");
 }

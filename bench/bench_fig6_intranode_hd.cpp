@@ -6,5 +6,5 @@ int main(int argc, char** argv) {
   gdrshmem::bench::latency_figure("fig6", /*intra=*/true, gdrshmem::omb::Loc::kHost,
                                   gdrshmem::core::Domain::kGpu,
                                   /*include_baseline=*/true);
-  return gdrshmem::bench::report_and_run(argc, argv);
+  return gdrshmem::bench::report_and_run(argc, argv, "fig6");
 }

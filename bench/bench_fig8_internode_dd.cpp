@@ -7,5 +7,5 @@ int main(int argc, char** argv) {
                                   gdrshmem::omb::Loc::kDevice,
                                   gdrshmem::core::Domain::kGpu,
                                   /*include_baseline=*/true);
-  return gdrshmem::bench::report_and_run(argc, argv);
+  return gdrshmem::bench::report_and_run(argc, argv, "fig8");
 }

@@ -8,5 +8,5 @@ int main(int argc, char** argv) {
                  gdrshmem::core::Domain::kHost, /*include_baseline=*/false);
   latency_figure("fig9", /*intra=*/false, gdrshmem::omb::Loc::kHost,
                  gdrshmem::core::Domain::kGpu, /*include_baseline=*/false);
-  return gdrshmem::bench::report_and_run(argc, argv);
+  return gdrshmem::bench::report_and_run(argc, argv, "fig9");
 }

@@ -62,5 +62,5 @@ int main(int argc, char** argv) {
     bench::add_point(tag + "/enhanced_mmps", enh);
   }
   std::printf("\n");
-  return bench::report_and_run(argc, argv);
+  return bench::report_and_run(argc, argv, "message_rate");
 }

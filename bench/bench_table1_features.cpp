@@ -104,5 +104,5 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("\n");
-  return gdrshmem::bench::report_and_run(argc, argv);
+  return gdrshmem::bench::report_and_run(argc, argv, "table1");
 }

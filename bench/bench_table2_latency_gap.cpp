@@ -79,5 +79,5 @@ int main(int argc, char** argv) {
   bench::add_point("table2/shmem_baseline/dd", shmem_dd_base);
   bench::add_point("table2/shmem_enhanced/dd", shmem_dd_enh);
   bench::add_point("table2/shmem/hh", shmem_hh);
-  return bench::report_and_run(argc, argv);
+  return bench::report_and_run(argc, argv, "table2");
 }

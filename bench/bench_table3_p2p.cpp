@@ -44,5 +44,5 @@ int main(int argc, char** argv) {
     bench::add_point(tag + "/inter_socket_mbps", inter);
   }
   std::printf("\n");
-  return bench::report_and_run(argc, argv);
+  return bench::report_and_run(argc, argv, "table3");
 }

@@ -5,6 +5,12 @@
 // entry per data point that reports the cached virtual time as manual time —
 // so `./bench_figX` emits both the paper-shaped table and standard
 // benchmark output without re-running the simulations.
+//
+// Every bench also writes BENCH_<tag>.json (uniform schema, rendered by the
+// same core::json::Writer as the runtime's JSON report) — override the
+// destination with `--out <path>`. scripts/check_perf.sh compares the
+// deterministic virtual_us points in these files against the committed
+// baselines in bench/baselines/.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -12,10 +18,14 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
+
+#include "core/json.hpp"
 
 namespace gdrshmem::bench {
 
@@ -33,30 +43,15 @@ inline void add_point(std::string name, double virtual_us) {
   points().push_back(Point{std::move(name), virtual_us});
 }
 
-/// Register every cached point as a manual-time benchmark and run them.
-inline int report_and_run(int argc, char** argv) {
-  for (const Point& p : points()) {
-    benchmark::RegisterBenchmark(p.name.c_str(), [p](benchmark::State& state) {
-      for (auto _ : state) {
-        state.SetIterationTime(p.virtual_us * 1e-6);
-      }
-      state.counters["virtual_us"] = p.virtual_us;
-    })->UseManualTime()->Iterations(1);
-  }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
-
 // ---------------------------------------------------------------------------
 // Wall-clock reporting.
 //
 // The paper-figure benches report *virtual* time (what the simulated
 // hardware would take); engine-efficiency benches report *wall* time (what
 // the simulation itself costs to run). Wall points carry an event count so
-// throughput (events/sec) is comparable across engine changes, and are
-// persisted as BENCH_<tag>.json so future PRs can track regressions.
+// throughput (events/sec) is comparable across engine changes. Wall numbers
+// are machine-dependent, so the perf gate ignores them — only virtual_us
+// points are compared against baselines.
 
 struct WallPoint {
   std::string name;       // e.g. "engine/msgrate/fibers/64pe"
@@ -78,6 +73,17 @@ inline void add_wall_point(std::string name, double wall_seconds,
   wall_points().push_back(WallPoint{std::move(name), wall_seconds, events});
 }
 
+/// Scalar headline metrics (speedups, configuration), landed in the JSON
+/// under "metrics".
+inline std::vector<std::pair<std::string, double>>& scalar_metrics() {
+  static std::vector<std::pair<std::string, double>> ms;
+  return ms;
+}
+
+inline void add_metric(std::string name, double v) {
+  scalar_metrics().emplace_back(std::move(name), v);
+}
+
 /// Monotonic wall-clock stamp for measuring simulation cost.
 inline double wall_now() {
   return std::chrono::duration<double>(
@@ -85,31 +91,61 @@ inline double wall_now() {
       .count();
 }
 
-/// Write all registered wall points (plus caller-provided scalar metrics) to
-/// `BENCH_<tag>.json` in the working directory.
-inline void write_wall_json(
-    const std::string& tag,
-    const std::vector<std::pair<std::string, double>>& metrics = {}) {
-  std::ofstream os("BENCH_" + tag + ".json");
-  os << "{\n  \"bench\": \"" << tag << "\",\n  \"points\": [\n";
-  const auto& pts = wall_points();
-  for (std::size_t i = 0; i < pts.size(); ++i) {
-    char buf[256];
-    std::snprintf(buf, sizeof buf,
-                  "    {\"name\": \"%s\", \"wall_seconds\": %.6f, "
-                  "\"events\": %llu, \"events_per_sec\": %.1f}%s\n",
-                  pts[i].name.c_str(), pts[i].wall_seconds,
-                  static_cast<unsigned long long>(pts[i].events),
-                  pts[i].events_per_sec(), i + 1 < pts.size() ? "," : "");
-    os << buf;
+// ---------------------------------------------------------------------------
+// JSON output + google-benchmark driver.
+
+/// Strip `--out <path>` / `--out=<path>` from argv (google-benchmark rejects
+/// flags it does not know). Returns the path, or "" when absent.
+inline std::string take_out_flag(int& argc, char** argv) {
+  std::string out;
+  int w = 1;
+  for (int r = 1; r < argc; ++r) {
+    std::string_view arg(argv[r]);
+    if (arg == "--out" && r + 1 < argc) {
+      out = argv[++r];
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out = std::string(arg.substr(6));
+    } else {
+      argv[w++] = argv[r];
+    }
   }
-  os << "  ]";
-  for (const auto& [k, v] : metrics) {
-    char buf[128];
-    std::snprintf(buf, sizeof buf, ",\n  \"%s\": %.4f", k.c_str(), v);
-    os << buf;
+  argc = w;
+  return out;
+}
+
+/// Write every registered point to `path` (default: BENCH_<tag>.json in the
+/// working directory) in the uniform schema the perf gate consumes.
+inline void write_bench_json(const std::string& tag, std::string path = "") {
+  if (path.empty()) path = "BENCH_" + tag + ".json";
+  core::json::Writer w;
+  w.begin_object();
+  w.field("schema", 1);
+  w.field("bench", tag);
+  w.key("points").begin_array();
+  for (const Point& p : points()) {
+    w.begin_object();
+    w.field("name", p.name);
+    w.field_fixed("virtual_us", p.virtual_us, 3);
+    w.end_object();
   }
-  os << "\n}\n";
+  w.end_array();
+  w.key("wall_points").begin_array();
+  for (const WallPoint& p : wall_points()) {
+    w.begin_object();
+    w.field("name", p.name);
+    w.field_fixed("wall_seconds", p.wall_seconds, 6);
+    w.field("events", p.events);
+    w.field_fixed("events_per_sec", p.events_per_sec(), 1);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("metrics").begin_object();
+  for (const auto& [k, v] : scalar_metrics()) w.field(k, v);
+  w.end_object();
+  w.end_object();
+  std::ofstream os(path);
+  os << w.str() << "\n";
+  std::printf("wrote %s\n", path.c_str());
 }
 
 /// Register every wall point as a manual-time benchmark entry (so engine
@@ -124,6 +160,26 @@ inline void register_wall_benchmarks() {
       state.counters["events"] = static_cast<double>(p.events);
     })->UseManualTime()->Iterations(1);
   }
+}
+
+/// Register every cached point as a manual-time benchmark, run them, and
+/// persist BENCH_<tag>.json (or the --out destination).
+inline int report_and_run(int argc, char** argv, const std::string& tag) {
+  std::string out = take_out_flag(argc, argv);
+  for (const Point& p : points()) {
+    benchmark::RegisterBenchmark(p.name.c_str(), [p](benchmark::State& state) {
+      for (auto _ : state) {
+        state.SetIterationTime(p.virtual_us * 1e-6);
+      }
+      state.counters["virtual_us"] = p.virtual_us;
+    })->UseManualTime()->Iterations(1);
+  }
+  register_wall_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_bench_json(tag, out);
+  return 0;
 }
 
 /// Pretty size label (paper figures use powers of two).

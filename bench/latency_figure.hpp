@@ -47,8 +47,9 @@ inline void latency_figure(const std::string& fig, bool intra, omb::Loc local,
       }
       for (std::size_t i = 0; i < enhanced.size(); ++i) {
         const auto& e = enhanced[i];
-        std::string tag = fig + "/" + (is_put ? "put" : "get") + "/" +
-                          (small ? "small" : "large") + "/" + size_label(e.bytes);
+        std::string tag = fig + "/" + cfg_name + "/" + (is_put ? "put" : "get") +
+                          "/" + (small ? "small" : "large") + "/" +
+                          size_label(e.bytes);
         add_point(tag + "/enhanced", e.latency_us);
         if (baseline) {
           const auto& b = (*baseline)[i];

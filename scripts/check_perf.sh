@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Perf-regression gate: compare freshly produced BENCH_<tag>.json files
+# against the committed baselines in bench/baselines/.
+#
+# Usage: scripts/check_perf.sh <fresh_dir> [baseline_dir]
+#
+#   fresh_dir     directory holding the BENCH_*.json files a bench run just
+#                 produced (each bench accepts `--out <path>`)
+#   baseline_dir  committed baselines (default: bench/baselines/)
+#
+# Only the deterministic virtual_us points are compared — wall-clock points
+# are machine-dependent and ignored. A fresh point slower than its baseline
+# by more than PERF_TOL (relative, default 0.10) fails the gate; getting
+# faster only prints a note so intentional wins can be locked in by
+# refreshing the baseline. Missing or malformed files fail too: a gate that
+# silently skips is no gate.
+set -euo pipefail
+
+fresh_dir=${1:?usage: check_perf.sh <fresh_dir> [baseline_dir]}
+base_dir=${2:-"$(dirname "$0")/../bench/baselines"}
+: "${PERF_TOL:=0.10}"
+
+python3 - "$fresh_dir" "$base_dir" "$PERF_TOL" <<'EOF'
+import json
+import pathlib
+import sys
+
+fresh_dir, base_dir = pathlib.Path(sys.argv[1]), pathlib.Path(sys.argv[2])
+tol = float(sys.argv[3])
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != 1 or "bench" not in doc:
+        raise ValueError(f"{path}: not a schema-1 bench file")
+    for key in ("points", "wall_points", "metrics"):
+        if key not in doc:
+            raise ValueError(f"{path}: missing '{key}'")
+    names = set()
+    for p in doc["points"]:
+        if "name" not in p or "virtual_us" not in p:
+            raise ValueError(f"{path}: malformed point {p}")
+        if p["name"] in names:
+            raise ValueError(f"{path}: duplicate point name '{p['name']}' — "
+                             "comparison would be ambiguous")
+        names.add(p["name"])
+    return doc
+
+baselines = sorted(base_dir.glob("BENCH_*.json"))
+if not baselines:
+    sys.exit(f"check_perf: no baselines in {base_dir}")
+
+regressions, compared = [], 0
+for base_path in baselines:
+    base = load(base_path)
+    fresh_path = fresh_dir / base_path.name
+    if not fresh_path.exists():
+        sys.exit(f"check_perf: {fresh_path} missing (bench not run?)")
+    fresh = load(fresh_path)
+    fresh_pts = {p["name"]: p["virtual_us"] for p in fresh["points"]}
+    for p in base["points"]:
+        name, want = p["name"], p["virtual_us"]
+        if name not in fresh_pts:
+            sys.exit(f"check_perf: {fresh_path.name}: point '{name}' vanished")
+        got = fresh_pts[name]
+        compared += 1
+        if want > 0 and got > want * (1 + tol):
+            regressions.append((base_path.name, name, want, got))
+        elif want > 0 and got < want * (1 - tol):
+            print(f"  note: {base_path.name}:{name} improved "
+                  f"{want:.3f} -> {got:.3f} us (refresh baseline to lock in)")
+
+if regressions:
+    print(f"check_perf: FAIL — {len(regressions)} regression(s) "
+          f"(tolerance {tol:.0%}):")
+    for fname, name, want, got in regressions:
+        print(f"  {fname}:{name}: {want:.3f} us -> {got:.3f} us "
+              f"(+{(got / want - 1):.1%})")
+    sys.exit(1)
+print(f"check_perf: OK — {compared} virtual-time points within "
+      f"{tol:.0%} of baseline across {len(baselines)} benches")
+EOF

@@ -12,4 +12,23 @@ cmake --build build -j
 
 scripts/check_sanitize.sh
 
+# Bench smoke + perf gate: run every bench quickly (the tables are computed
+# once up front; the google-benchmark pass is skipped via a non-matching
+# filter), collect each bench's BENCH_<tag>.json, and compare the
+# deterministic virtual-time points against the committed baselines.
+repo=$PWD
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+for bench in "$repo"/build/bench/bench_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  (cd "$smoke_dir" &&
+   "$bench" --benchmark_filter='^$' >"$name.log" 2>&1) || {
+    echo "bench smoke FAILED: $name"
+    tail -20 "$smoke_dir/$name.log"
+    exit 1
+  }
+done
+scripts/check_perf.sh "$smoke_dir" bench/baselines
+
 echo "tier-1 check passed"

@@ -37,6 +37,8 @@ void await_atomic(Ctx& ctx, const std::function<sim::CompletionPtr()>& post) {
 
 std::int64_t Ctx::atomic_fetch_add(std::int64_t* sym, std::int64_t value, int pe) {
   rt_->stats().atomics++;
+  op_kind_ = TraceEvent::Kind::kAtomic;
+  sim::Time t0 = now();
   count_protocol(Protocol::kAtomicHw, 8);
   proc().delay(Duration::us(rt_->cluster().params().shmem_sw_overhead_us));
   std::uint64_t* word = resolve_word(*rt_, pe_, pe, sym);
@@ -45,6 +47,7 @@ std::int64_t Ctx::atomic_fetch_add(std::int64_t* sym, std::int64_t value, int pe
     return rt_->verbs().atomic_fadd64(proc(), pe_, pe, word,
                                       static_cast<std::uint64_t>(value), &old);
   });
+  finish_op(TraceEvent::Kind::kAtomic, pe, 8, t0);
   return static_cast<std::int64_t>(old);
 }
 
@@ -55,6 +58,8 @@ void Ctx::atomic_add(std::int64_t* sym, std::int64_t value, int pe) {
 std::int64_t Ctx::atomic_compare_swap(std::int64_t* sym, std::int64_t cond,
                                       std::int64_t value, int pe) {
   rt_->stats().atomics++;
+  op_kind_ = TraceEvent::Kind::kAtomic;
+  sim::Time t0 = now();
   count_protocol(Protocol::kAtomicHw, 8);
   proc().delay(Duration::us(rt_->cluster().params().shmem_sw_overhead_us));
   std::uint64_t* word = resolve_word(*rt_, pe_, pe, sym);
@@ -64,6 +69,7 @@ std::int64_t Ctx::atomic_compare_swap(std::int64_t* sym, std::int64_t cond,
                                        static_cast<std::uint64_t>(cond),
                                        static_cast<std::uint64_t>(value), &old);
   });
+  finish_op(TraceEvent::Kind::kAtomic, pe, 8, t0);
   return static_cast<std::int64_t>(old);
 }
 
@@ -102,6 +108,8 @@ Lane32 resolve_lane32(Runtime& rt, int owner_pe, int target_pe, const void* sym)
 
 std::int32_t Ctx::atomic_fetch_add32(std::int32_t* sym, std::int32_t value, int pe) {
   rt_->stats().atomics++;
+  op_kind_ = TraceEvent::Kind::kAtomic;
+  sim::Time t0 = now();
   proc().delay(Duration::us(rt_->cluster().params().shmem_sw_overhead_us));
   Lane32 lane = resolve_lane32(*rt_, pe_, pe, sym);
   const std::uint64_t mask = std::uint64_t{0xffffffffu} << lane.shift;
@@ -123,7 +131,11 @@ std::int32_t Ctx::atomic_fetch_add32(std::int32_t* sym, std::int32_t value, int 
       return rt_->verbs().atomic_cswap64(proc(), pe_, pe, lane.word, cur,
                                          desired, &old);
     });
-    if (old == cur) return static_cast<std::int32_t>(lane_val);
+    if (old == cur) {
+      // One user-level op, however many hardware attempts the race cost.
+      finish_op(TraceEvent::Kind::kAtomic, pe, 4, t0);
+      return static_cast<std::int32_t>(lane_val);
+    }
     // Another PE raced us (possibly on the sibling lane): retry.
   }
 }
@@ -131,6 +143,8 @@ std::int32_t Ctx::atomic_fetch_add32(std::int32_t* sym, std::int32_t value, int 
 std::int32_t Ctx::atomic_compare_swap32(std::int32_t* sym, std::int32_t cond,
                                         std::int32_t value, int pe) {
   rt_->stats().atomics++;
+  op_kind_ = TraceEvent::Kind::kAtomic;
+  sim::Time t0 = now();
   proc().delay(Duration::us(rt_->cluster().params().shmem_sw_overhead_us));
   Lane32 lane = resolve_lane32(*rt_, pe_, pe, sym);
   const std::uint64_t mask = std::uint64_t{0xffffffffu} << lane.shift;
@@ -142,6 +156,7 @@ std::int32_t Ctx::atomic_compare_swap32(std::int32_t* sym, std::int32_t cond,
     });
     auto lane_val = static_cast<std::uint32_t>((cur & mask) >> lane.shift);
     if (static_cast<std::int32_t>(lane_val) != cond) {
+      finish_op(TraceEvent::Kind::kAtomic, pe, 4, t0);
       return static_cast<std::int32_t>(lane_val);  // compare failed: no swap
     }
     std::uint64_t desired =
@@ -153,7 +168,10 @@ std::int32_t Ctx::atomic_compare_swap32(std::int32_t* sym, std::int32_t cond,
       return rt_->verbs().atomic_cswap64(proc(), pe_, pe, lane.word, cur,
                                          desired, &old);
     });
-    if (old == cur) return static_cast<std::int32_t>(lane_val);
+    if (old == cur) {
+      finish_op(TraceEvent::Kind::kAtomic, pe, 4, t0);
+      return static_cast<std::int32_t>(lane_val);
+    }
   }
 }
 

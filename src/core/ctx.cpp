@@ -93,6 +93,40 @@ void* Ctx::shmem_ptr(const void* sym, int pe) {
 }
 
 // ---------------------------------------------------------------------------
+// Operation accounting
+
+Ctx::OpHists& Ctx::op_hists(TraceEvent::Kind kind, Protocol proto) {
+  OpHists& slot = op_hists_[static_cast<std::size_t>(kind)]
+                           [static_cast<std::size_t>(proto)];
+  if (slot.bytes == nullptr) {
+    std::string suffix = std::string(to_string(kind)) + "/" + to_string(proto);
+    Metrics& m = rt_->metrics();
+    slot.bytes = &m.histogram("op_bytes/" + suffix);
+    slot.latency = &m.histogram("op_latency_ns/" + suffix);
+  }
+  return slot;
+}
+
+void Ctx::count_protocol(Protocol proto, std::size_t bytes) {
+  rt_->stats().count(proto, bytes);
+  last_protocol_ = proto;
+  op_hists(op_kind_, proto).bytes->record(bytes);
+}
+
+void Ctx::finish_op(TraceEvent::Kind kind, int target_pe, std::size_t bytes,
+                    sim::Time t0) {
+  sim::Time t1 = now();
+  if (last_protocol_ != Protocol::kCount_) {
+    op_hists(kind, last_protocol_)
+        .latency->record(static_cast<std::uint64_t>((t1 - t0).count_ns()));
+  }
+  if (rt_->tracer().enabled()) {
+    rt_->tracer().record(
+        TraceEvent{pe_, target_pe, kind, last_protocol_, bytes, t0, t1});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // RMA entry points
 
 RmaOp Ctx::make_op(void* remote_sym, void* local, std::size_t n, int pe,
@@ -115,19 +149,18 @@ RmaOp Ctx::make_op(void* remote_sym, void* local, std::size_t n, int pe,
 void Ctx::putmem(void* dst_sym, const void* src, std::size_t n, int pe) {
   if (n == 0) return;
   rt_->stats().puts++;
+  op_kind_ = TraceEvent::Kind::kPut;
   sim::Time t0 = now();
   proc().delay(Duration::us(rt_->cluster().params().shmem_sw_overhead_us));
   RmaOp op = make_op(dst_sym, const_cast<void*>(src), n, pe, /*blocking=*/true);
   rt_->transport().put(*this, op);
-  if (rt_->tracer().enabled()) {
-    rt_->tracer().record(TraceEvent{pe_, pe, TraceEvent::Kind::kPut,
-                                    last_protocol_, n, t0, now()});
-  }
+  finish_op(TraceEvent::Kind::kPut, pe, n, t0);
 }
 
 void Ctx::putmem_nbi(void* dst_sym, const void* src, std::size_t n, int pe) {
   if (n == 0) return;
   rt_->stats().puts++;
+  op_kind_ = TraceEvent::Kind::kPut;
   proc().delay(Duration::us(rt_->cluster().params().shmem_sw_overhead_us));
   RmaOp op = make_op(dst_sym, const_cast<void*>(src), n, pe, /*blocking=*/false);
   rt_->transport().put(*this, op);
@@ -136,19 +169,18 @@ void Ctx::putmem_nbi(void* dst_sym, const void* src, std::size_t n, int pe) {
 void Ctx::getmem(void* dst, const void* src_sym, std::size_t n, int pe) {
   if (n == 0) return;
   rt_->stats().gets++;
+  op_kind_ = TraceEvent::Kind::kGet;
   sim::Time t0 = now();
   proc().delay(Duration::us(rt_->cluster().params().shmem_sw_overhead_us));
   RmaOp op = make_op(const_cast<void*>(src_sym), dst, n, pe, /*blocking=*/true);
   rt_->transport().get(*this, op);
-  if (rt_->tracer().enabled()) {
-    rt_->tracer().record(TraceEvent{pe_, pe, TraceEvent::Kind::kGet,
-                                    last_protocol_, n, t0, now()});
-  }
+  finish_op(TraceEvent::Kind::kGet, pe, n, t0);
 }
 
 void Ctx::getmem_nbi(void* dst, const void* src_sym, std::size_t n, int pe) {
   if (n == 0) return;
   rt_->stats().gets++;
+  op_kind_ = TraceEvent::Kind::kGet;
   proc().delay(Duration::us(rt_->cluster().params().shmem_sw_overhead_us));
   RmaOp op = make_op(const_cast<void*>(src_sym), dst, n, pe, /*blocking=*/false);
   rt_->transport().get(*this, op);

@@ -265,12 +265,11 @@ class Ctx {
   }
   void progress();
   void notify_progress() { progress_note_.notify(); }
-  /// Account an operation under `proto` (runtime-wide stats + per-PE note
-  /// for the tracer).
-  void count_protocol(Protocol proto, std::size_t bytes) {
-    rt_->stats().count(proto, bytes);
-    last_protocol_ = proto;
-  }
+  /// Account an operation under `proto`: runtime-wide stats, the per-kind x
+  /// per-protocol message-size histogram in the metrics registry, and a
+  /// per-PE note for the tracer. The registry's histogram totals therefore
+  /// match the protocol table by construction.
+  void count_protocol(Protocol proto, std::size_t bytes);
   Protocol last_protocol() const { return last_protocol_; }
   sim::Mailbox<CtrlMsg>& rx() { return rx_; }
   void track(sim::CompletionPtr c) {
@@ -368,7 +367,27 @@ class Ctx {
   std::map<int, sim::CompletionPtr> eager_outstanding_;
   std::map<int, std::vector<std::byte>> eager_src_slots_;
 
+  /// Record the just-finished blocking op's latency in the metrics registry
+  /// (keyed kind x protocol) and, when enabled, the tracer.
+  void finish_op(TraceEvent::Kind kind, int target_pe, std::size_t bytes,
+                 sim::Time t0);
+
   Protocol last_protocol_ = Protocol::kCount_;
+  /// Kind of the operation currently being issued by this PE; consumed by
+  /// count_protocol for histogram keying. All count_protocol calls happen on
+  /// the initiator's Ctx inside the put/get/atomic entry points, so this is
+  /// always current.
+  TraceEvent::Kind op_kind_ = TraceEvent::Kind::kPut;
+  /// Cache of histogram slots so the hot path does one map lookup per
+  /// (kind, protocol) pair per Ctx lifetime, not per operation.
+  struct OpHists {
+    Histogram* bytes = nullptr;
+    Histogram* latency = nullptr;
+  };
+  std::array<std::array<OpHists, static_cast<std::size_t>(Protocol::kCount_)>, 3>
+      op_hists_{};
+  OpHists& op_hists(TraceEvent::Kind kind, Protocol proto);
+
   std::uint64_t alloc_seq_ = 0;
   std::uint64_t barrier_gen_ = 0;
   std::uint64_t bcast_gen_ = 0;

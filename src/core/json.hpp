@@ -1,0 +1,117 @@
+// Minimal JSON emitter shared by the observability exporters (Chrome trace,
+// machine-readable report) and the bench harness's BENCH_<tag>.json files.
+// Fields appear exactly in emission order, so every serializer built on it
+// produces byte-stable output for identical inputs — the property the
+// golden-file tests and the perf-regression gate rely on.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gdrshmem::core::json {
+
+class Writer {
+ public:
+  const std::string& str() const { return out_; }
+
+  Writer& begin_object() { pre_value(); out_ += '{'; return *this; }
+  Writer& end_object() { out_ += '}'; return *this; }
+  Writer& begin_array() { pre_value(); out_ += '['; return *this; }
+  Writer& end_array() { out_ += ']'; return *this; }
+
+  Writer& key(std::string_view k) {
+    separate();
+    append_string(k);
+    out_ += ':';
+    after_key_ = true;
+    return *this;
+  }
+
+  Writer& value(std::string_view s) { pre_value(); append_string(s); return *this; }
+  Writer& value(const char* s) { return value(std::string_view(s)); }
+  Writer& value(bool b) { pre_value(); out_ += b ? "true" : "false"; return *this; }
+  Writer& value(std::int64_t v) {
+    pre_value();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Writer& value(std::uint64_t v) {
+    pre_value();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  /// Shortest round-trippable representation.
+  Writer& value(double v) {
+    pre_value();
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    out_ += buf;
+    return *this;
+  }
+  /// Fixed-point with `prec` decimals (timestamps, durations).
+  Writer& value_fixed(double v, int prec) {
+    pre_value();
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+    out_ += buf;
+    return *this;
+  }
+
+  template <typename T>
+  Writer& field(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+  Writer& field_fixed(std::string_view k, double v, int prec) {
+    key(k);
+    return value_fixed(v, prec);
+  }
+
+ private:
+  // A value needs a separating comma unless it opens the document, follows a
+  // key, or is the first element of its container.
+  void pre_value() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    separate();
+  }
+  void separate() {
+    if (!out_.empty() && out_.back() != '{' && out_.back() != '[' &&
+        out_.back() != ':') {
+      out_ += ',';
+    }
+  }
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool after_key_ = false;
+};
+
+}  // namespace gdrshmem::core::json

@@ -1,0 +1,103 @@
+// Central metrics registry: named monotonic counters, gauges (value + peak),
+// and log2-binned histograms. One instance lives on the Runtime and is
+// populated from operation accounting (per-protocol x per-op-kind latency
+// and message-size histograms), the proxy daemons (queue depth, staging
+// occupancy), the fault injector (retransmits, replays, crashes), and — at
+// snapshot time — the registration cache, verbs layer, and symmetric heaps.
+//
+// Everything here is pure bookkeeping on the wall-clock side: recording
+// never touches the simulation engine, so metrics cannot perturb virtual
+// time or event order.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace gdrshmem::core {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  /// Snapshot assignment for counters maintained elsewhere and mirrored into
+  /// the registry at report time.
+  void set(std::uint64_t v) { value_ = v; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::uint64_t v) {
+    value_ = v;
+    max_ = std::max(max_, v);
+  }
+  std::uint64_t value() const { return value_; }
+  std::uint64_t max() const { return max_; }
+
+ private:
+  std::uint64_t value_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Log2-binned histogram: bin 0 holds zeros, bin i (i >= 1) holds values in
+/// [2^(i-1), 2^i). 64-bit range, so 65 bins cover everything.
+class Histogram {
+ public:
+  static constexpr int kBins = 65;
+
+  void record(std::uint64_t v) {
+    ++count_;
+    sum_ += v;
+    min_ = count_ == 1 ? v : std::min(min_, v);
+    max_ = std::max(max_, v);
+    ++bins_[static_cast<std::size_t>(bin_of(v))];
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return min_; }
+  std::uint64_t max() const { return max_; }
+  const std::array<std::uint64_t, kBins>& bins() const { return bins_; }
+
+  static int bin_of(std::uint64_t v) { return std::bit_width(v); }
+  /// Smallest value that lands in bin `i`.
+  static std::uint64_t bin_floor(int i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  std::array<std::uint64_t, kBins> bins_{};
+};
+
+/// Name-keyed registry. Entries are created on first access and never move
+/// (std::map), so hot paths may cache the returned references. std::map also
+/// keeps serialization order sorted and therefore stable.
+class Metrics {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace gdrshmem::core

@@ -3,6 +3,7 @@
 // a silently ignored typo in a tuning knob is worse than a refusal to start.
 #include <cctype>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -55,7 +56,11 @@ std::size_t env_size(std::string_view var, const std::string& value) {
   }
   long long v = env_int(var, digits);
   if (v < 0) bad(var, "size must be >= 0");
-  return static_cast<std::size_t>(v) * mult;
+  auto uv = static_cast<std::size_t>(v);
+  if (mult != 1 && uv > std::numeric_limits<std::size_t>::max() / mult) {
+    bad(var, "size out of range: \"" + value + "\" overflows");
+  }
+  return uv * mult;
 }
 
 bool env_bool(std::string_view var, const std::string& value) {
@@ -161,6 +166,16 @@ RuntimeOptions RuntimeOptions::from_env() {
       } catch (const std::invalid_argument& e) {
         bad(key, e.what());
       }
+    } else if (key == "GDRSHMEM_TRACE") {
+      opts.trace = env_bool(key, value);
+    } else if (key == "GDRSHMEM_TRACE_CAP") {
+      // Already consumed by the defaulted trace_cap member; re-parse here so
+      // the error carries the uniform ShmemError shape.
+      try {
+        opts.trace_cap = trace_cap_from_env();
+      } catch (const std::invalid_argument& e) {
+        throw ShmemError(e.what());
+      }
     } else {
       bad(key,
           "unknown GDRSHMEM_* variable (known: SIM_BACKEND, SIM_STACK_KB, "
@@ -169,7 +184,8 @@ RuntimeOptions RuntimeOptions::from_env() {
           "INLINE_PUT_LIMIT, LOOPBACK_GDR_WRITE_LIMIT, "
           "LOOPBACK_GDR_READ_LIMIT, DIRECT_GDR_WRITE_LIMIT, "
           "DIRECT_GDR_READ_LIMIT, INTER_SOCKET_GDR_DIVISOR, MAX_SW_REPLAYS, "
-          "REPLAY_BACKOFF_US, PROXY_TIMEOUT_US, PROXY_MAX_REISSUES, FAULTS)");
+          "REPLAY_BACKOFF_US, PROXY_TIMEOUT_US, PROXY_MAX_REISSUES, FAULTS, "
+          "TRACE, TRACE_CAP)");
     }
   }
   return opts;

@@ -65,6 +65,11 @@ void ProxyDaemon::serve(sim::Process& self) {
       msg = mb_.receive(self);
     }
     self.delay(Duration::us(rt_.cluster().params().progress_wakeup_us));
+    // Requests still waiting behind the one we just picked up (the gauge
+    // keeps the peak, so bursts are visible in the report).
+    rt_.metrics()
+        .gauge("proxy/queue_depth")
+        .set(mb_.size() + stash_.size());
     switch (msg.kind) {
       case CtrlMsg::Kind::kProxyGet:
         do_get(self, msg);
@@ -97,6 +102,9 @@ void ProxyDaemon::do_get(sim::Process& self, CtrlMsg& msg) {
   const bool faulty = rt_.faults_enabled();
   const std::size_t chunk =
       std::min(rt_.tuning().pipeline_chunk, staging_.size() / 2);
+  rt_.metrics()
+      .gauge("proxy/staging_used_bytes")
+      .set(std::min(2 * chunk, msg.bytes));
   auto* src = static_cast<const std::byte*>(msg.remote);
   auto* dst = static_cast<std::byte*>(msg.local);
   sim::CompletionPtr slot_comp[2];
@@ -150,6 +158,9 @@ void ProxyDaemon::do_put(sim::Process& self, CtrlMsg& req) {
   const int requester = req.from;
   Runtime& rt = rt_;
   const std::size_t window = staging_.size();
+  rt_.metrics()
+      .gauge("proxy/staging_used_bytes")
+      .set(std::min(window, req.bytes));
   rt_.verbs().post_send(self, endpoint(), requester, 16,
                         [st, this, &rt, requester, window] {
                           st->staging = staging_.data();

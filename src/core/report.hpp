@@ -1,5 +1,7 @@
-// Human-readable runtime diagnostics: which protocols carried how much
-// traffic, registration-cache behaviour, proxy activity, heap usage.
+// Post-run runtime diagnostics: which protocols carried how much traffic,
+// registration-cache behaviour, proxy activity, heap usage — as a
+// human-readable table (format_report) or as stable machine-readable JSON
+// (format_report_json) consumed by the bench harness and the perf gate.
 #pragma once
 
 #include <iosfwd>
@@ -11,6 +13,11 @@ namespace gdrshmem::core {
 
 /// Render a post-run report (protocol table + resource counters).
 std::string format_report(Runtime& rt);
+
+/// Machine-readable equivalent: protocol table plus the full metrics
+/// registry (counters, gauges, log2 histograms), with stable field order.
+/// Snapshots pull-style diagnostics into the registry first.
+std::string format_report_json(Runtime& rt);
 
 /// Convenience: stream it.
 void print_report(Runtime& rt, std::ostream& os);

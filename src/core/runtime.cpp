@@ -17,9 +17,14 @@ Runtime::Runtime(const hw::ClusterConfig& cluster_cfg, const RuntimeOptions& opt
       injector_(opts.faults) {
   const int np = cluster_.num_pes();
 
+  if (opts_.trace) tracer_.enable();
+  tracer_.set_capacity(opts_.trace_cap);
+
   verbs_.set_fault_injector(&injector_);
-  // Mirror fault/recovery events into the operation tracer (when enabled).
+  // Mirror fault/recovery events into the metrics registry and — when
+  // enabled — the operation tracer.
   injector_.set_hook([this](sim::FaultEvent ev, int endpoint) {
+    metrics_.counter(std::string("faults/") + sim::to_string(ev)).add();
     if (!tracer_.enabled()) return;
     TraceEvent::Kind kind;
     switch (ev) {
@@ -195,6 +200,32 @@ std::byte* Runtime::map_peer_gpu_heap(sim::Process& proc, int opener_pe,
 }
 
 void Runtime::notify_pe(int pe) { ctx(pe).notify_progress(); }
+
+void Runtime::snapshot_metrics() {
+  metrics_.counter("reg_cache/hits").set(verbs_.reg_cache().hits());
+  metrics_.counter("reg_cache/misses").set(verbs_.reg_cache().misses());
+  metrics_.counter("ib/ops_posted").set(verbs_.ops_posted());
+  if (proxies_enabled()) {
+    std::uint64_t gets = 0, puts = 0, restarts = 0;
+    for (const auto& p : proxies_) {
+      gets += p->gets_served();
+      puts += p->puts_served();
+      restarts += static_cast<std::uint64_t>(p->restarts());
+    }
+    metrics_.counter("proxy/gets_served").set(gets);
+    metrics_.counter("proxy/puts_served").set(puts);
+    metrics_.counter("proxy/restarts").set(restarts);
+  }
+  std::size_t host_used = 0, gpu_used = 0;
+  for (const PeHeaps& hs : heaps_) {
+    host_used += hs.host.used();
+    gpu_used += hs.gpu.used();
+  }
+  metrics_.gauge("heap/host_used_bytes").set(host_used);
+  metrics_.gauge("heap/gpu_used_bytes").set(gpu_used);
+  metrics_.counter("trace/recorded").set(tracer_.size());
+  metrics_.counter("trace/dropped").set(tracer_.dropped());
+}
 
 void Runtime::check_symmetric_alloc(std::uint64_t seq, std::size_t bytes, Domain d) {
   if (seq < alloc_log_.size()) {

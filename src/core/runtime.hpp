@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/heap.hpp"
+#include "core/metrics.hpp"
 #include "core/transport.hpp"
 #include "core/trace.hpp"
 #include "core/tuning.hpp"
@@ -46,6 +47,11 @@ struct RuntimeOptions {
   /// guarantees the fault-free code paths run verbatim, event for event).
   /// Configurable via GDRSHMEM_FAULTS; see sim::FaultPlan::parse.
   sim::FaultPlan faults;
+  /// Operation tracer: enabled via GDRSHMEM_TRACE, ring capacity (events)
+  /// via GDRSHMEM_TRACE_CAP. Tracing is bookkeeping-only, so enabling it
+  /// never changes virtual time or event order.
+  bool trace = trace_from_env();
+  std::size_t trace_cap = trace_cap_from_env();
 
   /// Build options from the environment: parses and validates every
   /// GDRSHMEM_* variable (backend, heap sizes, transport, tuning
@@ -99,6 +105,11 @@ class Runtime {
   Transport& transport() { return *transport_; }
   OpStats& stats() { return stats_; }
   Tracer& tracer() { return tracer_; }
+  Metrics& metrics() { return metrics_; }
+  /// Mirror pull-style diagnostics (registration cache, verbs, proxies,
+  /// heaps, tracer drops) into the metrics registry. Called by the report
+  /// formatters; cheap and idempotent.
+  void snapshot_metrics();
   int num_pes() const { return cluster_.num_pes(); }
   Ctx& ctx(int pe) { return *ctxs_.at(static_cast<std::size_t>(pe)); }
   sim::FaultInjector& faults() { return injector_; }
@@ -157,6 +168,7 @@ class Runtime {
   sim::FaultInjector injector_;
   OpStats stats_;
   Tracer tracer_;
+  Metrics metrics_;
 
   std::vector<std::unique_ptr<std::byte[]>> host_heap_storage_;
   std::vector<PeHeaps> heaps_;

@@ -1,9 +1,17 @@
 // Operation-level tracing: when enabled, every put/get/atomic records
 // (PE, kind, protocol, bytes, target, start, end) in virtual time. Useful
 // for understanding protocol selection and communication phases; exports
-// CSV for external plotting.
+// CSV for external plotting and Chrome trace-event JSON for
+// chrome://tracing / Perfetto.
+//
+// Storage is a bounded ring: the newest `capacity()` events are kept and a
+// dropped-event counter records how many fell off the front
+// (GDRSHMEM_TRACE_CAP sizes the ring). Recording is pure bookkeeping — it
+// never schedules events or charges virtual time, so an enabled tracer is
+// guaranteed not to perturb a run.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -36,6 +44,12 @@ struct TraceEvent {
   std::size_t bytes = 0;
   sim::Time start;
   sim::Time end;
+
+  /// Operations render as complete ("X") slices in the Chrome trace; the
+  /// fault/recovery kinds are instants.
+  bool is_op() const {
+    return kind == Kind::kPut || kind == Kind::kGet || kind == Kind::kAtomic;
+  }
 };
 
 inline const char* to_string(TraceEvent::Kind k) {
@@ -58,20 +72,65 @@ inline const char* to_string(TraceEvent::Kind k) {
 
 class Tracer {
  public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity ? capacity : 1) {}
+
   void enable() { enabled_ = true; }
   bool enabled() const { return enabled_; }
+
+  /// Resize the ring. Shrinking keeps the newest events (older ones count
+  /// as dropped).
+  void set_capacity(std::size_t cap);
+  std::size_t capacity() const { return capacity_; }
+
   void record(TraceEvent ev) {
-    if (enabled_) events_.push_back(ev);
+    if (!enabled_) return;
+    if (ring_.size() < capacity_) {
+      ring_.push_back(ev);
+      return;
+    }
+    ring_[head_] = ev;  // overwrite the oldest slot
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
   }
-  const std::vector<TraceEvent>& events() const { return events_; }
-  void clear() { events_.clear(); }
+
+  /// Number of retained events (<= capacity()).
+  std::size_t size() const { return ring_.size(); }
+  /// Events that fell off the front of the ring.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Retained events in chronological order.
+  std::vector<TraceEvent> events() const;
+
+  void clear() {
+    ring_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
 
   /// One line per event: pe,kind,target,bytes,protocol,start_us,end_us.
   std::string to_csv() const;
 
+  /// Chrome trace-event JSON (load in chrome://tracing or ui.perfetto.dev):
+  /// complete "X" events on one track per PE for operations, instant "i"
+  /// events for the fault/recovery kinds, plus dropped-event metadata.
+  std::string to_chrome_json() const;
+
  private:
   bool enabled_ = false;
-  std::vector<TraceEvent> events_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // index of the oldest event once the ring is full
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> ring_;
 };
+
+/// GDRSHMEM_TRACE / GDRSHMEM_TRACE_CAP, consumed by the RuntimeOptions
+/// defaults (so benches constructing options programmatically still honor
+/// the environment). Throw std::invalid_argument on garbage;
+/// RuntimeOptions::from_env re-surfaces that as a ShmemError.
+bool trace_from_env();
+std::size_t trace_cap_from_env();
 
 }  // namespace gdrshmem::core

@@ -10,6 +10,7 @@
 // how pipelined PCIe/IB hardware behaves for a single message.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <initializer_list>
@@ -85,7 +86,10 @@ struct Path {
 };
 
 /// Concatenate path segments: latencies add, bandwidth is the minimum of the
-/// bandwidth-limited segments, link sets union.
+/// bandwidth-limited segments, link sets union. A link shared by several
+/// segments (e.g. the HCA's PCIe slot on a loopback route, crossed once per
+/// direction) appears once: a transfer occupies each physical resource for
+/// one serialization, not one per segment that mentions it.
 inline Path combine(std::initializer_list<Path> segments) {
   Path out;
   for (const Path& s : segments) {
@@ -93,7 +97,11 @@ inline Path combine(std::initializer_list<Path> segments) {
     if (s.bw_mbps > 0 && (out.bw_mbps <= 0 || s.bw_mbps < out.bw_mbps)) {
       out.bw_mbps = s.bw_mbps;
     }
-    out.links.insert(out.links.end(), s.links.begin(), s.links.end());
+    for (Link* l : s.links) {
+      if (std::find(out.links.begin(), out.links.end(), l) == out.links.end()) {
+        out.links.push_back(l);
+      }
+    }
   }
   return out;
 }

@@ -34,7 +34,10 @@ class Duration {
   constexpr Duration operator-(Duration o) const { return Duration{ns_ - o.ns_}; }
   constexpr Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
   constexpr Duration operator*(double k) const {
-    return Duration{static_cast<std::int64_t>(static_cast<double>(ns_) * k + 0.5)};
+    // Round half away from zero, matching Duration::us — a scaled negative
+    // duration must not creep toward zero.
+    double v = static_cast<double>(ns_) * k;
+    return Duration{static_cast<std::int64_t>(v + (v >= 0 ? 0.5 : -0.5))};
   }
   constexpr auto operator<=>(const Duration&) const = default;
 

@@ -235,6 +235,50 @@ TEST(FromEnv, BadValuesAreErrors) {
     ScopedEnv e("GDRSHMEM_FAULTS", "wire_error_rate=2");
     EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
   }
+  {
+    ScopedEnv e("GDRSHMEM_TRACE", "maybe");
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    ScopedEnv e("GDRSHMEM_TRACE_CAP", "0");
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    ScopedEnv e("GDRSHMEM_TRACE_CAP", "lots");
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+}
+
+TEST(FromEnv, OversizedHeapIsAnErrorNotSilentWraparound) {
+  // 99999999999 * 2^30 overflows std::size_t; the old code wrapped silently
+  // and produced a tiny (or huge) bogus heap.
+  {
+    ScopedEnv e("GDRSHMEM_HOST_HEAP", "99999999999G");
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    ScopedEnv e("GDRSHMEM_GPU_HEAP", "99999999999999999M");
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    // Near the boundary but representable: must still parse.
+    ScopedEnv e("GDRSHMEM_HOST_HEAP", "8G");
+    EXPECT_EQ(RuntimeOptions::from_env().host_heap_bytes,
+              std::size_t{8} << 30);
+  }
+}
+
+TEST(FromEnv, TraceKnobsFlowIntoOptions) {
+  ScopedEnv e1("GDRSHMEM_TRACE", "on");
+  ScopedEnv e2("GDRSHMEM_TRACE_CAP", "4096");
+  RuntimeOptions opts = RuntimeOptions::from_env();
+  EXPECT_TRUE(opts.trace);
+  EXPECT_EQ(opts.trace_cap, 4096u);
+  // The defaulted members consult the environment too, so programmatically
+  // constructed options (the bench path) honor the same knobs.
+  RuntimeOptions programmatic;
+  EXPECT_TRUE(programmatic.trace);
+  EXPECT_EQ(programmatic.trace_cap, 4096u);
 }
 
 TEST(FromEnv, FaultPlanDrivesARun) {

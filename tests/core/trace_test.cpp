@@ -1,5 +1,11 @@
-// Operation tracer tests.
+// Operation tracer tests: recording, the bounded ring, the Chrome
+// trace-event exporter, and the contract that enabling the tracer never
+// perturbs virtual time.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "core/trace.hpp"
 #include "test_util.hpp"
@@ -19,6 +25,7 @@ TEST(Trace, DisabledByDefaultAndFree) {
     ctx.barrier_all();
   });
   EXPECT_TRUE(rt.tracer().events().empty());
+  EXPECT_EQ(rt.tracer().dropped(), 0u);
 }
 
 TEST(Trace, RecordsOpsWithProtocolAndTiming) {
@@ -35,9 +42,10 @@ TEST(Trace, RecordsOpsWithProtocolAndTiming) {
     ctx.barrier_all();
   });
   // Find the user ops among the barrier-internal flag puts.
+  const std::vector<TraceEvent> evs = rt.tracer().events();
   const TraceEvent* small_put = nullptr;
   const TraceEvent* big_get = nullptr;
-  for (const auto& e : rt.tracer().events()) {
+  for (const auto& e : evs) {
     if (e.kind == TraceEvent::Kind::kPut && e.bytes == 8 && e.target == 1 &&
         e.protocol == Protocol::kDirectGdr) {
       small_put = &e;
@@ -55,6 +63,141 @@ TEST(Trace, RecordsOpsWithProtocolAndTiming) {
             std::string::npos);
   EXPECT_NE(csv.find("proxy-get"), std::string::npos);
   EXPECT_NE(csv.find("direct-gdr"), std::string::npos);
+}
+
+TEST(Trace, RingDropsOldestAndCountsThem) {
+  Tracer tr(/*capacity=*/4);
+  tr.enable();
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent e;
+    e.pe = i;
+    e.start = e.end = sim::Time::ns(i);
+    tr.record(e);
+  }
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.dropped(), 6u);
+  std::vector<TraceEvent> evs = tr.events();
+  ASSERT_EQ(evs.size(), 4u);
+  // The newest four, in chronological order.
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(evs[static_cast<std::size_t>(i)].pe, 6 + i);
+}
+
+TEST(Trace, SetCapacityShrinkKeepsNewest) {
+  Tracer tr(/*capacity=*/8);
+  tr.enable();
+  for (int i = 0; i < 8; ++i) {
+    TraceEvent e;
+    e.pe = i;
+    tr.record(e);
+  }
+  tr.set_capacity(3);
+  EXPECT_EQ(tr.capacity(), 3u);
+  EXPECT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr.dropped(), 5u);
+  std::vector<TraceEvent> evs = tr.events();
+  ASSERT_EQ(evs.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(evs[static_cast<std::size_t>(i)].pe, 5 + i);
+  // Ring behavior continues at the new capacity.
+  TraceEvent e;
+  e.pe = 99;
+  tr.record(e);
+  EXPECT_EQ(tr.size(), 3u);
+  EXPECT_EQ(tr.dropped(), 6u);
+  EXPECT_EQ(tr.events().back().pe, 99);
+}
+
+TEST(Trace, ChromeJsonGolden) {
+  // Hand-built events -> byte-stable exporter output.
+  Tracer tr;
+  tr.enable();
+  tr.record(TraceEvent{0, 1, TraceEvent::Kind::kPut, Protocol::kDirectGdr, 8,
+                       sim::Time::ns(1500), sim::Time::ns(3000)});
+  TraceEvent fault;
+  fault.pe = 1;
+  fault.target = -1;
+  fault.kind = TraceEvent::Kind::kRetransmit;
+  fault.start = fault.end = sim::Time::ns(5000);
+  tr.record(fault);
+  EXPECT_EQ(
+      tr.to_chrome_json(),
+      "{\"displayTimeUnit\":\"ms\",\"traceEvents\":["
+      "{\"name\":\"put\",\"cat\":\"op\",\"ph\":\"X\",\"ts\":1.500,"
+      "\"dur\":1.500,\"pid\":0,\"tid\":0,\"args\":{\"protocol\":\"direct-gdr\","
+      "\"bytes\":8,\"target\":1}},"
+      "{\"name\":\"retransmit\",\"cat\":\"fault\",\"ph\":\"i\",\"ts\":5.000,"
+      "\"s\":\"t\",\"pid\":0,\"tid\":1,\"args\":{\"bytes\":0,\"target\":-1}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"PE 0\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,"
+      "\"args\":{\"name\":\"PE 1\"}}],"
+      "\"otherData\":{\"recorded_events\":2,\"dropped_events\":0}}\n");
+}
+
+TEST(Trace, ChromeJsonSurfacesDrops) {
+  Tracer tr(/*capacity=*/1);
+  tr.enable();
+  for (int i = 0; i < 3; ++i) tr.record(TraceEvent{});
+  std::string json = tr.to_chrome_json();
+  EXPECT_NE(json.find("\"recorded_events\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\":2"), std::string::npos);
+}
+
+TEST(Trace, ChromeJsonFromRealRunIsWellFormed) {
+  Runtime rt(make_cluster(2, 2), make_options(TransportKind::kEnhancedGdr));
+  rt.tracer().enable();
+  rt.run([&](Ctx& ctx) {
+    void* p = ctx.shmalloc(4096);
+    std::vector<std::byte> buf(4096);
+    ctx.putmem(p, buf.data(), buf.size(), (ctx.my_pe() + 1) % ctx.n_pes());
+    ctx.barrier_all();
+  });
+  std::string json = rt.tracer().to_chrome_json();
+  ASSERT_FALSE(rt.tracer().events().empty());
+  // Structurally balanced and carrying the expected sections.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+}
+
+// The core observability contract: an enabled tracer is bookkeeping only.
+// The same workload must reach the identical virtual end time and execute
+// the identical number of engine events with tracing on and off — on both
+// execution backends.
+TEST(Trace, EnabledTracerDoesNotPerturbVirtualTime) {
+  auto run_once = [](sim::BackendKind backend, bool trace) {
+    RuntimeOptions opts = make_options(TransportKind::kEnhancedGdr);
+    opts.sim_backend = backend;
+    opts.trace = trace;
+    Runtime rt(make_cluster(2, 2), opts);
+    rt.run([&](Ctx& ctx) {
+      void* g = ctx.shmalloc(256u << 10, Domain::kGpu);
+      void* local = ctx.cuda_malloc(256u << 10);
+      int peer = (ctx.my_pe() + 1) % ctx.n_pes();
+      ctx.putmem(g, local, 8, peer);
+      ctx.putmem(g, local, 256u << 10, peer);
+      ctx.getmem(local, g, 64u << 10, peer);
+      auto* ctr = static_cast<std::int64_t*>(ctx.shmalloc(8));
+      ctx.atomic_fetch_add(ctr, 1, peer);
+      ctx.barrier_all();
+    });
+    EXPECT_EQ(rt.tracer().enabled(), trace);
+    if (trace) {
+      EXPECT_GT(rt.tracer().size(), 0u);
+    }
+    return std::pair{rt.engine().now(), rt.engine().events_executed()};
+  };
+  for (auto backend : {sim::BackendKind::kFibers, sim::BackendKind::kThreads}) {
+    auto off = run_once(backend, false);
+    auto on = run_once(backend, true);
+    EXPECT_EQ(off.first, on.first) << "virtual end time changed by tracing";
+    EXPECT_EQ(off.second, on.second) << "event count changed by tracing";
+  }
 }
 
 }  // namespace

@@ -63,6 +63,23 @@ TEST(Path, CutThroughNotStoreAndForward) {
   EXPECT_EQ(p.schedule(Time::zero(), 1000).count_ns(), 1000);
 }
 
+TEST(Path, CombineDeduplicatesSharedLinks) {
+  // A loopback route mentions the same PCIe link in both directions'
+  // segments; the physical resource must appear (and be charged) once.
+  Link pcie("pcie", 1000.0);
+  Path down{Duration::us(0.5), 1000.0, {&pcie}};
+  Path up{Duration::us(0.5), 1000.0, {&pcie}};
+  Path both = combine({down, up});
+  ASSERT_EQ(both.links.size(), 1u);
+
+  // One 1000-byte transfer holds the link for one serialization (1 us), not
+  // two — a second transfer can start at 1 us, not 2 us.
+  Time t1 = both.schedule(Time::zero(), 1000);
+  EXPECT_EQ(t1.count_ns(), 1000 + 1000);  // latency + one serialization
+  EXPECT_EQ(pcie.next_free().count_ns(), 1000);
+  EXPECT_EQ(pcie.bytes_transferred(), 1000u);  // counted once, not twice
+}
+
 TEST(Path, ContentionAcrossDistinctPathsSharingALink) {
   Link shared("shared", 1000.0);
   Link fast("fast", 100000.0);
