@@ -1,0 +1,152 @@
+// Collectives-engine bench: virtual-time latency of every (kind, algorithm)
+// pair across message sizes and team spans on a 4x2 cluster, plus the ring
+// allreduce scaling headline — time grows O(n) in the message size and stays
+// nearly flat in the PE count (2(np-1)/np factor), unlike the old
+// gather-to-root reduction.
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/collectives.hpp"
+#include "core/ctx.hpp"
+#include "core/runtime.hpp"
+
+using namespace gdrshmem;
+using core::CollAlgo;
+using core::CollKind;
+using core::Ctx;
+using core::Team;
+
+namespace {
+
+constexpr int kWorld = 8;  // 4 nodes x 2 PEs
+
+/// Default workspace: 2 * coll_chunk (the engine streams larger payloads).
+constexpr std::size_t kWs = 128u << 10;
+
+bool fits(CollKind kind, CollAlgo algo, std::size_t nbytes, int np) {
+  switch (algo) {
+    case CollAlgo::kRecDbl:
+      return nbytes <= kWs;
+    case CollAlgo::kBruck:
+      return nbytes * static_cast<std::size_t>(np) <= kWs;
+    case CollAlgo::kLinear:
+      return kind != CollKind::kAllreduce ||
+             nbytes * static_cast<std::size_t>(np) <= kWs;
+    default:
+      return true;
+  }
+}
+
+/// Virtual-time latency (us per operation) of one collective on the first
+/// `span` PEs of the world.
+double measure(CollKind kind, CollAlgo algo, std::size_t nbytes, int span) {
+  hw::ClusterConfig cluster;
+  cluster.num_nodes = 4;
+  cluster.pes_per_node = 2;
+  core::RuntimeOptions opts;
+  opts.host_heap_bytes = 64u << 20;
+  opts.tuning.coll_force[static_cast<std::size_t>(kind)] = algo;
+  core::Runtime rt(cluster, opts);
+  constexpr int kIters = 5;
+  const std::size_t wide = nbytes * static_cast<std::size_t>(span);
+  double us = 0;
+  rt.run([&](Ctx& ctx) {
+    // Both buffers sized for the widest layout any kind needs (fcollect and
+    // alltoall carry one block per member).
+    auto* src = static_cast<std::byte*>(ctx.shmalloc(wide > 0 ? wide : 8));
+    auto* dst = static_cast<std::byte*>(ctx.shmalloc(wide > 0 ? wide : 8));
+    Team* split = span < ctx.n_pes()
+                      ? ctx.team_split_strided(ctx.team_world(), 0, 1, span)
+                      : nullptr;
+    Team* t = span < ctx.n_pes() ? split : &ctx.team_world();
+    if (t != nullptr) {
+      ctx.team_sync(*t);
+      sim::Time t0 = ctx.now();
+      for (int i = 0; i < kIters; ++i) {
+        switch (kind) {
+          case CollKind::kBarrier:
+            ctx.team_sync(*t);
+            break;
+          case CollKind::kBroadcast:
+            ctx.team_broadcast(*t, dst, src, nbytes, 0);
+            break;
+          case CollKind::kAllreduce:
+            ctx.team_reduce(*t, reinterpret_cast<std::int32_t*>(dst),
+                            reinterpret_cast<const std::int32_t*>(src),
+                            nbytes / 4, core::ReduceOp::kSum);
+            break;
+          case CollKind::kFcollect:
+            ctx.team_fcollect(*t, dst, src, nbytes);
+            break;
+          default:
+            ctx.team_alltoall(*t, dst, src, nbytes);
+            break;
+        }
+      }
+      if (ctx.my_pe() == 0) us = (ctx.now() - t0).to_us() / kIters;
+      if (split != nullptr) ctx.team_destroy(split);
+    }
+    ctx.barrier_all();
+  });
+  return us;
+}
+
+struct Series {
+  CollKind kind;
+  std::vector<CollAlgo> algos;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::size_t> sizes = {8, 4u << 10, 256u << 10, 1u << 20};
+  const std::vector<Series> series = {
+      {CollKind::kBroadcast,
+       {CollAlgo::kLinear, CollAlgo::kBinomial, CollAlgo::kRing}},
+      {CollKind::kAllreduce,
+       {CollAlgo::kLinear, CollAlgo::kRecDbl, CollAlgo::kRing}},
+      {CollKind::kFcollect,
+       {CollAlgo::kLinear, CollAlgo::kBruck, CollAlgo::kRing}},
+      {CollKind::kAlltoall, {CollAlgo::kLinear, CollAlgo::kPairwise}},
+  };
+
+  std::printf("== Collectives: virtual-time latency, %d PEs (us) ==\n", kWorld);
+  double barrier_us = measure(CollKind::kBarrier, CollAlgo::kDissemination, 0,
+                              kWorld);
+  std::printf("%-30s %10.2f\n", "barrier/dissemination", barrier_us);
+  bench::add_point("coll/barrier/dissemination/8pe", barrier_us);
+
+  for (const Series& s : series) {
+    for (CollAlgo algo : s.algos) {
+      for (std::size_t nbytes : sizes) {
+        if (!fits(s.kind, algo, nbytes, kWorld)) continue;
+        double us = measure(s.kind, algo, nbytes, kWorld);
+        std::string name = std::string("coll/") + core::to_string(s.kind) +
+                           "/" + core::to_string(algo) + "/8pe/" +
+                           bench::size_label(nbytes);
+        std::printf("%-30s %10.2f\n", name.c_str(), us);
+        bench::add_point(name, us);
+      }
+    }
+  }
+
+  // Ring allreduce scaling: O(n) in message size, near-flat in PE count.
+  double ring_256k = measure(CollKind::kAllreduce, CollAlgo::kRing,
+                             256u << 10, kWorld);
+  double ring_1m_8 = measure(CollKind::kAllreduce, CollAlgo::kRing, 1u << 20,
+                             kWorld);
+  double ring_1m_4 = measure(CollKind::kAllreduce, CollAlgo::kRing, 1u << 20,
+                             4);
+  bench::add_point("coll/allreduce/ring/4pe/1M", ring_1m_4);
+  bench::add_metric("allreduce_ring_size_scaling_1m_over_256k",
+                    ring_1m_8 / ring_256k);
+  bench::add_metric("allreduce_ring_np_scaling_8pe_over_4pe",
+                    ring_1m_8 / ring_1m_4);
+  std::printf(
+      "\nring allreduce scaling: T(1M)/T(256K) = %.2f (O(n) ~ 4.0), "
+      "T(8pe)/T(4pe) at 1M = %.2f (2(np-1)/np ~ 1.17)\n",
+      ring_1m_8 / ring_256k, ring_1m_8 / ring_1m_4);
+
+  return bench::report_and_run(argc, argv, "collectives");
+}

@@ -117,7 +117,7 @@ LbmResult run_lbm(const hw::ClusterConfig& cluster,
     auto* total = static_cast<double*>(ctx.shmalloc(2 * sizeof(double)));
     partial[0] = local_mass(f);
     partial[1] = local_mass(g);
-    ctx.sum_to_all(total, partial, 2);
+    ctx.team_reduce(ctx.team_world(), total, partial, 2, core::ReduceOp::kSum);
     double mass0_phase = total[0], mass0_fluid = total[1];
 
     const double kn = cfg.per_cell_ns;
@@ -265,7 +265,7 @@ LbmResult run_lbm(const hw::ClusterConfig& cluster,
 
     partial[0] = local_mass(f);
     partial[1] = local_mass(g);
-    ctx.sum_to_all(total, partial, 2);
+    ctx.team_reduce(ctx.team_world(), total, partial, 2, core::ReduceOp::kSum);
     if (me == 0) {
       result.evolution_ms = elapsed_ms;
       result.phase_mass_initial = mass0_phase;

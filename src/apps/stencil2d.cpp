@@ -142,8 +142,11 @@ Stencil2DResult run_stencil2d(const hw::ClusterConfig& cluster,
     ctx.barrier_all();
     double elapsed_ms = (ctx.now() - t0).to_ms();
 
-    // Global checksum of the interior.
+    // Global checksum of the interior: a two-stage reduction along the
+    // process grid — sum across my row team, then across my column team —
+    // so each stage only spans one grid dimension.
     auto* partial = static_cast<double*>(ctx.shmalloc(sizeof(double)));
+    auto* rowsum = static_cast<double*>(ctx.shmalloc(sizeof(double)));
     auto* total = static_cast<double*>(ctx.shmalloc(sizeof(double)));
     *partial = 0;
     if (cfg.functional) {
@@ -151,7 +154,32 @@ Stencil2DResult run_stencil2d(const hw::ClusterConfig& cluster,
         for (std::size_t j = 1; j <= t.lny; ++j) *partial += cur[t.idx(i, j)];
       }
     }
-    ctx.sum_to_all(total, partial, 1);
+    if (cfg.px > 1 && cfg.py > 1 &&
+        cfg.px + cfg.py < core::coll::SyncLayout::kMaxTeams) {
+      // Row r = PEs [r*py, (r+1)*py), stride 1; column c = {c, c+py, ...},
+      // stride py. Splits are collective over the world team, so every PE
+      // participates in all of them; each keeps only its own row/column.
+      core::Team* row = nullptr;
+      core::Team* col = nullptr;
+      for (int r = 0; r < cfg.px; ++r) {
+        core::Team* tm =
+            ctx.team_split_strided(ctx.team_world(), r * cfg.py, 1, cfg.py);
+        if (tm != nullptr) row = tm;
+      }
+      for (int c = 0; c < cfg.py; ++c) {
+        core::Team* tm =
+            ctx.team_split_strided(ctx.team_world(), c, cfg.py, cfg.px);
+        if (tm != nullptr) col = tm;
+      }
+      ctx.team_reduce(*row, rowsum, partial, 1, core::ReduceOp::kSum);
+      ctx.team_reduce(*col, total, rowsum, 1, core::ReduceOp::kSum);
+      ctx.team_destroy(row);
+      ctx.team_destroy(col);
+    } else {
+      // 1-D decompositions (or grids needing more team slots than the sync
+      // pool holds) reduce over the world team directly.
+      ctx.sum_to_all(total, partial, 1);
+    }
     if (me == 0) {
       result.exec_time_ms = elapsed_ms;
       result.checksum = *total;

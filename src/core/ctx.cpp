@@ -8,40 +8,20 @@ namespace gdrshmem::core {
 using sim::Duration;
 
 // ---------------------------------------------------------------------------
-// Runtime-internal synchronization region: the first symmetric allocation of
-// every host heap, used by barrier / broadcast / reduce / collect.
-
-struct Ctx::SyncRegion {
-  static constexpr int kRounds = 32;  // supports up to 2^32 PEs
-  static constexpr std::size_t kScratchBytes = 256 * 1024;
-
-  std::uint64_t barrier_flags[kRounds];
-  std::uint64_t bcast_flag;
-  std::uint64_t pad_;  // keep the tail 16-byte aligned
-
-  std::uint64_t* coll_flags() { return reinterpret_cast<std::uint64_t*>(this + 1); }
-  std::byte* scratch(int np) {
-    return reinterpret_cast<std::byte*>(coll_flags() + np);
-  }
-  static std::size_t bytes(int np) {
-    return sizeof(SyncRegion) + sizeof(std::uint64_t) * static_cast<std::size_t>(np) +
-           kScratchBytes;
-  }
-};
-
-Ctx::SyncRegion& Ctx::sync_region(int pe) {
-  return *reinterpret_cast<SyncRegion*>(rt_->heap(pe, Domain::kHost).base());
-}
-
-// ---------------------------------------------------------------------------
 // Construction
 
 Ctx::Ctx(Runtime& rt, int pe)
     : rt_(&rt),
       pe_(pe),
-      stream_(rt.cluster().placement(pe).node, rt.cluster().placement(pe).gpu) {
-  // Reserve the sync region — identical first allocation on every PE.
-  rt_->heap(pe_, Domain::kHost).allocate(SyncRegion::bytes(rt.num_pes()));
+      stream_(rt.cluster().placement(pe).node, rt.cluster().placement(pe).gpu),
+      coll_layout_(coll::SyncLayout::make(rt.num_pes(), rt.tuning(),
+                                          rt.options().host_heap_bytes)),
+      world_team_(0, 1, rt.num_pes(), pe, /*slot=*/0) {
+  // Reserve the collectives sync pool — identical first allocation on every
+  // PE. The heap is zero-initialized, so every flag starts below any
+  // generation-tagged value the engine will ever wait for.
+  coll_pool_ = static_cast<std::byte*>(
+      rt_->heap(pe_, Domain::kHost).allocate(coll_layout_.pool_bytes()));
 
   const Tuning& t = rt.tuning();
   bounce_.resize(2 * t.pipeline_chunk);
@@ -335,162 +315,118 @@ void Ctx::compute(sim::Duration d) {
 }
 
 // ---------------------------------------------------------------------------
-// Collectives
+// Collectives: thin wrappers over the core::coll engine on TEAM_WORLD.
 
 void Ctx::barrier_all() {
   quiet();
   rt_->stats().barriers++;
-  ++barrier_gen_;
-  const int np = n_pes();
-  SyncRegion& mine = sync_region(pe_);
-  for (int r = 0; (1 << r) < np; ++r) {
-    int peer = (pe_ + (1 << r)) % np;
-    std::uint64_t gen = barrier_gen_;
-    putmem(&mine.barrier_flags[r], &gen, sizeof(gen), peer);
-    wait_until<std::uint64_t>(&mine.barrier_flags[r], Cmp::kGe, gen);
-  }
+  coll::sync(*this, world_team_);
 }
 
 void Ctx::broadcastmem(void* dst_sym, const void* src_sym, std::size_t n,
                        int root) {
-  const int np = n_pes();
-  if (np == 1) return;
-  ++bcast_gen_;
-  SyncRegion& mine = sync_region(pe_);
-  int vrank = (pe_ - root + np) % np;
-  int mask = 1;
-  while (mask < np) {
-    if (vrank & mask) {
-      wait_until<std::uint64_t>(&mine.bcast_flag, Cmp::kGe, bcast_gen_);
-      break;
-    }
-    mask <<= 1;
-  }
-  const void* data = (pe_ == root) ? src_sym : dst_sym;
-  mask >>= 1;
-  while (mask > 0) {
-    int peer_v = vrank + mask;
-    if (peer_v < np) {
-      int peer = (peer_v + root) % np;
-      // Data strictly before the flag (they may ride different paths).
-      put_sync(dst_sym, data, n, peer);
-      putmem(&mine.bcast_flag, &bcast_gen_, sizeof(bcast_gen_), peer);
-    }
-    mask >>= 1;
-  }
-  // Broadcast must be synchronizing: bcast_flag has a *different writer*
-  // per generation (the binomial parent depends on the root), so without a
-  // barrier a later generation's flag from a fast PE could overtake this
-  // generation's data and release a waiter early.
-  barrier_all();
+  coll::broadcast(*this, world_team_, dst_sym, src_sym, n, root);
 }
 
 void Ctx::fcollectmem(void* dst_sym, const void* src_sym, std::size_t nbytes) {
-  const int np = n_pes();
-  ++coll_gen_;
-  SyncRegion& mine = sync_region(pe_);
-  auto* dst_bytes = static_cast<std::byte*>(dst_sym);
-  // Own block (local copy, charged as a real copy).
-  cuda_memcpy(dst_bytes + static_cast<std::size_t>(pe_) * nbytes, src_sym, nbytes);
-  for (int i = 1; i < np; ++i) {
-    int peer = (pe_ + i) % np;
-    putmem(dst_bytes + static_cast<std::size_t>(pe_) * nbytes, src_sym, nbytes, peer);
-  }
-  quiet();  // all data acked before any flag is raised
-  for (int i = 1; i < np; ++i) {
-    int peer = (pe_ + i) % np;
-    putmem(&mine.coll_flags()[pe_], &coll_gen_, sizeof(coll_gen_), peer);
-  }
-  for (int i = 0; i < np; ++i) {
-    if (i == pe_) continue;
-    wait_until<std::uint64_t>(&mine.coll_flags()[i], Cmp::kGe, coll_gen_);
-  }
+  coll::fcollect(*this, world_team_, dst_sym, src_sym, nbytes);
 }
 
 void Ctx::alltoallmem(void* dst_sym, const void* src_sym, std::size_t nbytes) {
-  const int np = n_pes();
-  ++coll_gen_;
-  SyncRegion& mine = sync_region(pe_);
-  auto* dst_bytes = static_cast<std::byte*>(dst_sym);
-  auto* src_bytes = static_cast<const std::byte*>(src_sym);
-  // Own block.
-  cuda_memcpy(dst_bytes + static_cast<std::size_t>(pe_) * nbytes,
-              src_bytes + static_cast<std::size_t>(pe_) * nbytes, nbytes);
-  for (int i = 1; i < np; ++i) {
-    int peer = (pe_ + i) % np;
-    // Block `peer` of my src -> block `me` of peer's dst.
-    putmem(dst_bytes + static_cast<std::size_t>(pe_) * nbytes,
-           src_bytes + static_cast<std::size_t>(peer) * nbytes, nbytes, peer);
+  coll::alltoall(*this, world_team_, dst_sym, src_sym, nbytes);
+}
+
+void Ctx::record_collective(CollKind kind, CollAlgo algo, std::size_t bytes,
+                            sim::Time t0) {
+  sim::Time t1 = now();
+  OpHists& h =
+      coll_hists_[{static_cast<int>(kind), static_cast<int>(algo)}];
+  if (h.bytes == nullptr) {
+    std::string suffix = std::string(to_string(kind)) + "/" + to_string(algo);
+    Metrics& m = rt_->metrics();
+    h.bytes = &m.histogram("coll_bytes/" + suffix);
+    h.latency = &m.histogram("coll_latency_ns/" + suffix);
   }
-  quiet();
-  for (int i = 1; i < np; ++i) {
-    int peer = (pe_ + i) % np;
-    putmem(&mine.coll_flags()[pe_], &coll_gen_, sizeof(coll_gen_), peer);
-  }
-  for (int i = 0; i < np; ++i) {
-    if (i == pe_) continue;
-    wait_until<std::uint64_t>(&mine.coll_flags()[i], Cmp::kGe, coll_gen_);
+  h.bytes->record(bytes);
+  h.latency->record(static_cast<std::uint64_t>((t1 - t0).count_ns()));
+  if (rt_->tracer().enabled()) {
+    TraceEvent::Kind k = TraceEvent::Kind::kCollBarrier;
+    switch (kind) {
+      case CollKind::kBarrier: k = TraceEvent::Kind::kCollBarrier; break;
+      case CollKind::kBroadcast: k = TraceEvent::Kind::kCollBcast; break;
+      case CollKind::kAllreduce: k = TraceEvent::Kind::kCollReduce; break;
+      case CollKind::kFcollect: k = TraceEvent::Kind::kCollFcollect; break;
+      case CollKind::kAlltoall: k = TraceEvent::Kind::kCollAlltoall; break;
+      case CollKind::kCount_: break;
+    }
+    rt_->tracer().record(
+        TraceEvent{pe_, /*target=*/-1, k, Protocol::kCount_, bytes, t0, t1});
   }
 }
 
-void Ctx::reduce_impl(void* dst, const void* src, std::size_t nelems, ReduceOp op,
-                      ScalarType t) {
-  const int np = n_pes();
-  std::size_t elsize = (t == ScalarType::kF64 || t == ScalarType::kI64) ? 8 : 4;
-  std::size_t nbytes = nelems * elsize;
-  if (nbytes * static_cast<std::size_t>(np) > SyncRegion::kScratchBytes) {
-    throw ShmemError("reduction exceeds the internal scratch region");
-  }
-  ++coll_gen_;
-  SyncRegion& mine = sync_region(pe_);
+// ---------------------------------------------------------------------------
+// Teams
 
-  if (pe_ != 0) {
-    put_sync(mine.scratch(np) + static_cast<std::size_t>(pe_) * nbytes, src, nbytes, 0);
-    putmem(&mine.coll_flags()[pe_], &coll_gen_, sizeof(coll_gen_), 0);
-  } else {
-    std::memmove(dst, src, nbytes);  // own contribution (dst may alias src)
-    for (int i = 1; i < np; ++i) {
-      wait_until<std::uint64_t>(&mine.coll_flags()[i], Cmp::kGe, coll_gen_);
-    }
-    // Combine in PE order for determinism.
-    auto reduce_one = [op](auto* acc, auto v) {
-      switch (op) {
-        case ReduceOp::kSum: *acc += v; break;
-        case ReduceOp::kMin: *acc = v < *acc ? v : *acc; break;
-        case ReduceOp::kMax: *acc = v > *acc ? v : *acc; break;
-      }
-    };
-    auto apply = [&](const std::byte* block) {
-      auto* d = static_cast<std::byte*>(dst);
-      for (std::size_t e = 0; e < nelems; ++e) {
-        switch (t) {
-          case ScalarType::kF32:
-            reduce_one(reinterpret_cast<float*>(d) + e,
-                       reinterpret_cast<const float*>(block)[e]);
-            break;
-          case ScalarType::kF64:
-            reduce_one(reinterpret_cast<double*>(d) + e,
-                       reinterpret_cast<const double*>(block)[e]);
-            break;
-          case ScalarType::kI32:
-            reduce_one(reinterpret_cast<std::int32_t*>(d) + e,
-                       reinterpret_cast<const std::int32_t*>(block)[e]);
-            break;
-          case ScalarType::kI64:
-            reduce_one(reinterpret_cast<std::int64_t*>(d) + e,
-                       reinterpret_cast<const std::int64_t*>(block)[e]);
-            break;
-        }
-      }
-    };
-    for (int i = 1; i < np; ++i) {
-      apply(mine.scratch(np) + static_cast<std::size_t>(i) * nbytes);
-    }
-    // Charge the combine like a kernel-free CPU pass.
-    proc().delay(Duration::ns(static_cast<std::int64_t>(
-        static_cast<double>(nbytes) * (np - 1) * 0.25)));
+Team* Ctx::team_split_strided(Team& parent, int start, int stride, int size) {
+  if (size <= 0 || start < 0 || stride <= 0 ||
+      start + (size - 1) * stride >= parent.n_pes()) {
+    throw ShmemError("team_split_strided: triplet (" + std::to_string(start) +
+                     ", " + std::to_string(stride) + ", " +
+                     std::to_string(size) + ") does not fit a team of " +
+                     std::to_string(parent.n_pes()));
   }
-  broadcastmem(dst, dst, nbytes, 0);
+  const int off = parent.my_pe() - start;
+  const bool member = off >= 0 && off % stride == 0 && off / stride < size;
+
+  // Agree on a sync-pool slot: AND-allreduce of per-PE free masks over the
+  // parent, using the parent block's control-plane reserve word (disjoint
+  // from the workspace the allreduce itself stages through).
+  auto* mask = reinterpret_cast<std::int64_t*>(
+      coll_layout_.reserve(coll_pool_, parent.slot()));
+  *mask = static_cast<std::int64_t>(~static_cast<std::uint64_t>(team_slots_used_));
+  coll::allreduce(*this, parent, mask, mask, 1, ReduceOp::kBand,
+                  ScalarType::kI64);
+  const auto common_free = static_cast<std::uint64_t>(*mask);
+
+  int slot = -1;
+  for (int b = 1; b < coll::SyncLayout::kMaxTeams; ++b) {
+    if (common_free & (1ull << b)) {
+      slot = b;
+      break;
+    }
+  }
+  if (slot < 0) {
+    // Identical outcome on every member: the mask is an allreduce result.
+    throw ShmemError("team_split_strided: no free sync-pool slot (at most " +
+                     std::to_string(coll::SyncLayout::kMaxTeams - 1) +
+                     " concurrent teams per PE)");
+  }
+
+  Team* out = nullptr;
+  if (member) {
+    team_slots_used_ |= 1u << slot;
+    // A fresh team restarts its generation counter at zero, so every flag
+    // in the block must restart below it. Only members' blocks are ever
+    // written by the new team's collectives, and only after this split
+    // returns — which the closing parent sync orders after the memset.
+    std::memset(coll_layout_.barrier_flags(coll_pool_, slot), 0,
+                coll_layout_.flags_bytes());
+    teams_.push_back(std::make_unique<Team>(
+        parent.world_pe(start), parent.stride() * stride, size,
+        /*my_idx=*/off / stride, slot));
+    out = teams_.back().get();
+  }
+  coll::sync(*this, parent);
+  return out;
+}
+
+void Ctx::team_destroy(Team* team) {
+  if (team == nullptr) return;
+  if (team->is_world()) throw ShmemError("cannot destroy the world team");
+  coll::sync(*this, *team);  // every member done with the team's collectives
+  team_slots_used_ &= ~(1u << team->slot());
+  std::erase_if(teams_,
+                [team](const std::unique_ptr<Team>& t) { return t.get() == team; });
 }
 
 }  // namespace gdrshmem::core

@@ -14,8 +14,10 @@
 #include <memory>
 #include <vector>
 
+#include "core/collectives.hpp"
 #include "core/ctrl.hpp"
 #include "core/runtime.hpp"
+#include "core/team.hpp"
 #include "core/transport.hpp"
 #include "sim/future.hpp"
 #include "sim/mailbox.hpp"
@@ -186,7 +188,7 @@ class Ctx {
   std::int32_t atomic_compare_swap32(std::int32_t* sym, std::int32_t cond,
                                      std::int32_t value, int pe);
 
-  // ---- collectives ------------------------------------------------------------------
+  // ---- collectives (thin wrappers over core::coll on TEAM_WORLD) ------------
   void barrier_all();
   /// Broadcast `n` bytes from root's `src_sym` into everyone else's
   /// `dst_sym` (root's dst untouched, per OpenSHMEM).
@@ -194,18 +196,61 @@ class Ctx {
   /// Allreduce on symmetric buffers (dst may alias src).
   template <typename T>
   void sum_to_all(T* dst_sym, const T* src_sym, std::size_t nreduce) {
-    reduce_impl(dst_sym, src_sym, nreduce, ReduceOp::kSum, type_tag<T>());
+    coll::allreduce(*this, team_world(), dst_sym, src_sym, nreduce,
+                    ReduceOp::kSum, scalar_tag<T>());
   }
   template <typename T>
   void min_to_all(T* dst_sym, const T* src_sym, std::size_t nreduce) {
-    reduce_impl(dst_sym, src_sym, nreduce, ReduceOp::kMin, type_tag<T>());
+    coll::allreduce(*this, team_world(), dst_sym, src_sym, nreduce,
+                    ReduceOp::kMin, scalar_tag<T>());
   }
   template <typename T>
   void max_to_all(T* dst_sym, const T* src_sym, std::size_t nreduce) {
-    reduce_impl(dst_sym, src_sym, nreduce, ReduceOp::kMax, type_tag<T>());
+    coll::allreduce(*this, team_world(), dst_sym, src_sym, nreduce,
+                    ReduceOp::kMax, scalar_tag<T>());
   }
   /// Concatenate every PE's `nbytes` block into each PE's dst (fcollect).
   void fcollectmem(void* dst_sym, const void* src_sym, std::size_t nbytes);
+
+  // ---- teams (OpenSHMEM 1.5 shapes; see core/team.hpp) ----------------------
+  /// The predefined world team (every PE, slot 0 of the sync pool).
+  Team& team_world() { return world_team_; }
+  /// Collective over `parent`: members with parent index start + i * stride
+  /// (0 <= i < size) form a new team. Returns the new team, or nullptr on
+  /// PEs that are not members. Throws when the triplet is invalid or all
+  /// sync-pool slots are taken (deterministically on every member).
+  Team* team_split_strided(Team& parent, int start, int stride, int size);
+  /// Collective over the team; releases its sync-pool slot for reuse.
+  void team_destroy(Team* team);
+  /// Team-wide sync (no implicit quiet, unlike barrier_all).
+  void team_sync(Team& team) { coll::sync(*this, team); }
+  void team_broadcast(Team& team, void* dst_sym, const void* src_sym,
+                      std::size_t nbytes, int root) {
+    coll::broadcast(*this, team, dst_sym, src_sym, nbytes, root);
+  }
+  template <typename T>
+  void team_reduce(Team& team, T* dst_sym, const T* src_sym,
+                   std::size_t nreduce, ReduceOp op) {
+    coll::allreduce(*this, team, dst_sym, src_sym, nreduce, op,
+                    scalar_tag<T>());
+  }
+  void team_fcollect(Team& team, void* dst_sym, const void* src_sym,
+                     std::size_t nbytes) {
+    coll::fcollect(*this, team, dst_sym, src_sym, nbytes);
+  }
+  void team_alltoall(Team& team, void* dst_sym, const void* src_sym,
+                     std::size_t nbytes) {
+    coll::alltoall(*this, team, dst_sym, src_sym, nbytes);
+  }
+
+  // ---- collectives-engine support (used by core::coll) ----------------------
+  const coll::SyncLayout& coll_layout() const { return coll_layout_; }
+  /// This PE's copy of the sync pool (head of its host heap).
+  std::byte* coll_pool() { return coll_pool_; }
+  /// Account one finished collective: coll_bytes / coll_latency_ns
+  /// histograms keyed kind x algo, plus a trace slice when tracing.
+  void record_collective(CollKind kind, CollAlgo algo, std::size_t bytes,
+                         sim::Time t0);
 
   // ---- locks (shmem_set_lock family, on IB hardware atomics) --------------
   /// Acquire a global lock (the lock word lives on PE 0's heap copy).
@@ -333,18 +378,8 @@ class Ctx {
   /// (fault plans only; called from quiet's predicate).
   void recover_pending();
 
-  enum class ReduceOp { kSum, kMin, kMax };
-  enum class ScalarType { kF32, kF64, kI32, kI64 };
-  template <typename T>
-  static ScalarType type_tag();
-
-  void reduce_impl(void* dst, const void* src, std::size_t nelems, ReduceOp op,
-                   ScalarType t);
   RmaOp make_op(void* remote_sym, void* local, std::size_t n, int pe,
                 bool blocking);
-  /// Layout of the runtime-internal synchronization region (host heap head).
-  struct SyncRegion;
-  SyncRegion& sync_region(int pe);
 
   Runtime* rt_;
   int pe_;
@@ -387,16 +422,20 @@ class Ctx {
   std::array<std::array<OpHists, static_cast<std::size_t>(Protocol::kCount_)>, 3>
       op_hists_{};
   OpHists& op_hists(TraceEvent::Kind kind, Protocol proto);
+  /// Histogram-slot cache for record_collective, keyed (kind, algo).
+  std::map<std::pair<int, int>, OpHists> coll_hists_;
 
   std::uint64_t alloc_seq_ = 0;
-  std::uint64_t barrier_gen_ = 0;
-  std::uint64_t bcast_gen_ = 0;
-  std::uint64_t coll_gen_ = 0;
-};
 
-template <> inline Ctx::ScalarType Ctx::type_tag<float>() { return ScalarType::kF32; }
-template <> inline Ctx::ScalarType Ctx::type_tag<double>() { return ScalarType::kF64; }
-template <> inline Ctx::ScalarType Ctx::type_tag<std::int32_t>() { return ScalarType::kI32; }
-template <> inline Ctx::ScalarType Ctx::type_tag<std::int64_t>() { return ScalarType::kI64; }
+  // ---- collectives / teams state -------------------------------------------
+  coll::SyncLayout coll_layout_;
+  std::byte* coll_pool_ = nullptr;  // first allocation of this PE's host heap
+  Team world_team_;
+  std::vector<std::unique_ptr<Team>> teams_;
+  /// Sync-pool slots this PE currently uses (bit 0 = TEAM_WORLD). Per-PE
+  /// state: disjoint teams may share a slot, the split allreduce over the
+  /// parent guarantees no member double-books one.
+  std::uint32_t team_slots_used_ = 1;
+};
 
 }  // namespace gdrshmem::core

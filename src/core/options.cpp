@@ -8,6 +8,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/collectives.hpp"
 #include "core/runtime.hpp"
 
 extern char** environ;
@@ -160,6 +161,64 @@ RuntimeOptions RuntimeOptions::from_env() {
       long long v = env_int(key, value);
       if (v < 1) bad(key, "must be >= 1");
       opts.tuning.proxy_max_reissues = static_cast<int>(v);
+    } else if (key == "GDRSHMEM_COLL_CHUNK") {
+      opts.tuning.coll_chunk = env_size(key, value);
+      if (opts.tuning.coll_chunk < (1u << 12)) bad(key, "chunk must be >= 4K");
+    } else if (key == "GDRSHMEM_COLL_ALGO") {
+      // Either a single algorithm name (applied to every collective kind
+      // that implements it; the rest stay on auto selection) or a comma
+      // list of kind=algo pairs: "bcast=ring,allreduce=recdbl".
+      auto parse_algo = [&](const std::string& name) {
+        try {
+          return coll::algo_from_string(name);
+        } catch (const std::invalid_argument& e) {
+          bad(key, e.what());
+        }
+      };
+      if (value.find('=') == std::string::npos) {
+        CollAlgo algo = parse_algo(value);
+        bool any = false;
+        for (std::size_t k = 0; k < static_cast<std::size_t>(CollKind::kCount_);
+             ++k) {
+          if (coll::algo_supported(static_cast<CollKind>(k), algo)) {
+            opts.tuning.coll_force[k] = algo;
+            any = true;
+          }
+        }
+        if (!any && algo != CollAlgo::kAuto) {
+          bad(key, "\"" + value + "\" applies to no collective kind");
+        }
+      } else {
+        std::string rest = value;
+        while (!rest.empty()) {
+          auto comma = rest.find(',');
+          std::string pair = rest.substr(0, comma);
+          rest = comma == std::string::npos ? "" : rest.substr(comma + 1);
+          auto eq2 = pair.find('=');
+          if (eq2 == std::string::npos || eq2 == 0 || eq2 + 1 == pair.size()) {
+            bad(key, "expected kind=algo pairs, got \"" + pair + "\"");
+          }
+          std::string kind_name = pair.substr(0, eq2);
+          CollAlgo algo = parse_algo(pair.substr(eq2 + 1));
+          int kind = -1;
+          for (std::size_t k = 0;
+               k < static_cast<std::size_t>(CollKind::kCount_); ++k) {
+            if (kind_name == to_string(static_cast<CollKind>(k))) {
+              kind = static_cast<int>(k);
+            }
+          }
+          if (kind < 0) {
+            bad(key, "unknown collective kind \"" + kind_name +
+                         "\" (known: barrier, bcast, allreduce, fcollect, "
+                         "alltoall)");
+          }
+          if (!coll::algo_supported(static_cast<CollKind>(kind), algo)) {
+            bad(key, std::string(to_string(algo)) + " is not a " + kind_name +
+                         " algorithm");
+          }
+          opts.tuning.coll_force[static_cast<std::size_t>(kind)] = algo;
+        }
+      }
     } else if (key == "GDRSHMEM_FAULTS") {
       try {
         opts.faults = sim::FaultPlan::parse(value);
@@ -183,9 +242,9 @@ RuntimeOptions RuntimeOptions::from_env() {
           "SERVICE_THREAD_PENALTY, USE_PROXY, EAGER_LIMIT, PIPELINE_CHUNK, "
           "INLINE_PUT_LIMIT, LOOPBACK_GDR_WRITE_LIMIT, "
           "LOOPBACK_GDR_READ_LIMIT, DIRECT_GDR_WRITE_LIMIT, "
-          "DIRECT_GDR_READ_LIMIT, INTER_SOCKET_GDR_DIVISOR, MAX_SW_REPLAYS, "
-          "REPLAY_BACKOFF_US, PROXY_TIMEOUT_US, PROXY_MAX_REISSUES, FAULTS, "
-          "TRACE, TRACE_CAP)");
+          "DIRECT_GDR_READ_LIMIT, INTER_SOCKET_GDR_DIVISOR, COLL_ALGO, "
+          "COLL_CHUNK, MAX_SW_REPLAYS, REPLAY_BACKOFF_US, PROXY_TIMEOUT_US, "
+          "PROXY_MAX_REISSUES, FAULTS, TRACE, TRACE_CAP)");
     }
   }
   return opts;

@@ -206,18 +206,123 @@ int shmem_int_fadd(int* sym, int value, int pe) {
   return shmem_atomic_fetch_add(sym, value, pe);
 }
 
+// ---- teams -----------------------------------------------------------------
+
+shmem_team_t shmem_team_world() { return &current().team_world(); }
+
+int shmem_team_split_strided(shmem_team_t parent, int start, int stride,
+                             int size, shmem_team_t* new_team) {
+  if (parent == SHMEM_TEAM_INVALID || new_team == nullptr) return 1;
+  *new_team = current().team_split_strided(*parent, start, stride, size);
+  return 0;
+}
+
+int shmem_team_my_pe(shmem_team_t team) {
+  return team == SHMEM_TEAM_INVALID ? -1 : team->my_pe();
+}
+int shmem_team_n_pes(shmem_team_t team) {
+  return team == SHMEM_TEAM_INVALID ? -1 : team->n_pes();
+}
+int shmem_team_translate_pe(shmem_team_t src_team, int src_pe,
+                            shmem_team_t dst_team) {
+  if (src_team == SHMEM_TEAM_INVALID || dst_team == SHMEM_TEAM_INVALID ||
+      src_pe < 0 || src_pe >= src_team->n_pes()) {
+    return -1;
+  }
+  return core::Team::translate(*src_team, src_pe, *dst_team);
+}
+void shmem_team_destroy(shmem_team_t team) { current().team_destroy(team); }
+void shmem_team_sync(shmem_team_t team) {
+  if (team == SHMEM_TEAM_INVALID) {
+    throw core::ShmemError("shmem_team_sync on SHMEM_TEAM_INVALID");
+  }
+  current().team_sync(*team);
+}
+
+// ---- collectives -----------------------------------------------------------
+
+namespace {
+core::Team& team_or_throw(shmem_team_t team, const char* what) {
+  if (team == SHMEM_TEAM_INVALID) {
+    throw core::ShmemError(std::string(what) + " on SHMEM_TEAM_INVALID");
+  }
+  return *team;
+}
+}  // namespace
+
 void shmem_broadcastmem(void* dst, const void* src, std::size_t n, int root) {
   current().broadcastmem(dst, src, n, root);
 }
-void shmem_double_sum_to_all(double* dst, const double* src, std::size_t nreduce) {
-  current().sum_to_all(dst, src, nreduce);
-}
-void shmem_longlong_max_to_all(long long* dst, const long long* src, std::size_t n) {
-  current().max_to_all(reinterpret_cast<std::int64_t*>(dst),
-                       reinterpret_cast<const std::int64_t*>(src), n);
+void shmem_broadcastmem(shmem_team_t team, void* dst, const void* src,
+                        std::size_t n, int root) {
+  current().team_broadcast(team_or_throw(team, "shmem_broadcastmem"), dst, src,
+                           n, root);
 }
 void shmem_fcollectmem(void* dst, const void* src, std::size_t nbytes) {
   current().fcollectmem(dst, src, nbytes);
+}
+void shmem_fcollectmem(shmem_team_t team, void* dst, const void* src,
+                       std::size_t nbytes) {
+  current().team_fcollect(team_or_throw(team, "shmem_fcollectmem"), dst, src,
+                          nbytes);
+}
+void shmem_alltoallmem(void* dst, const void* src, std::size_t nbytes) {
+  current().alltoallmem(dst, src, nbytes);
+}
+void shmem_alltoallmem(shmem_team_t team, void* dst, const void* src,
+                       std::size_t nbytes) {
+  current().team_alltoall(team_or_throw(team, "shmem_alltoallmem"), dst, src,
+                          nbytes);
+}
+
+// The typed reduction surface is mechanical: every (type, op) pair forwards
+// to the engine on the world team (to_all) or the given team (reduce).
+#define GDRSHMEM_DEFINE_TO_ALL(name, ctype, itype, opk)                       \
+  void name(ctype* dst, const ctype* src, std::size_t nreduce) {              \
+    current().team_reduce(current().team_world(),                             \
+                          reinterpret_cast<itype*>(dst),                      \
+                          reinterpret_cast<const itype*>(src), nreduce,       \
+                          core::ReduceOp::opk);                               \
+  }
+#define GDRSHMEM_DEFINE_REDUCE(name, ctype, itype, opk)                       \
+  void name(shmem_team_t team, ctype* dst, const ctype* src, std::size_t n) { \
+    current().team_reduce(team_or_throw(team, #name),                         \
+                          reinterpret_cast<itype*>(dst),                      \
+                          reinterpret_cast<const itype*>(src), n,             \
+                          core::ReduceOp::opk);                               \
+  }
+
+GDRSHMEM_DEFINE_TO_ALL(shmem_int_sum_to_all, int, std::int32_t, kSum)
+GDRSHMEM_DEFINE_TO_ALL(shmem_int_min_to_all, int, std::int32_t, kMin)
+GDRSHMEM_DEFINE_TO_ALL(shmem_int_max_to_all, int, std::int32_t, kMax)
+GDRSHMEM_DEFINE_TO_ALL(shmem_long_sum_to_all, long long, std::int64_t, kSum)
+GDRSHMEM_DEFINE_TO_ALL(shmem_long_min_to_all, long long, std::int64_t, kMin)
+GDRSHMEM_DEFINE_TO_ALL(shmem_long_max_to_all, long long, std::int64_t, kMax)
+GDRSHMEM_DEFINE_TO_ALL(shmem_float_sum_to_all, float, float, kSum)
+GDRSHMEM_DEFINE_TO_ALL(shmem_float_min_to_all, float, float, kMin)
+GDRSHMEM_DEFINE_TO_ALL(shmem_float_max_to_all, float, float, kMax)
+GDRSHMEM_DEFINE_TO_ALL(shmem_double_sum_to_all, double, double, kSum)
+GDRSHMEM_DEFINE_TO_ALL(shmem_double_min_to_all, double, double, kMin)
+GDRSHMEM_DEFINE_TO_ALL(shmem_double_max_to_all, double, double, kMax)
+
+GDRSHMEM_DEFINE_REDUCE(shmem_int_sum_reduce, int, std::int32_t, kSum)
+GDRSHMEM_DEFINE_REDUCE(shmem_int_min_reduce, int, std::int32_t, kMin)
+GDRSHMEM_DEFINE_REDUCE(shmem_int_max_reduce, int, std::int32_t, kMax)
+GDRSHMEM_DEFINE_REDUCE(shmem_long_sum_reduce, long long, std::int64_t, kSum)
+GDRSHMEM_DEFINE_REDUCE(shmem_long_min_reduce, long long, std::int64_t, kMin)
+GDRSHMEM_DEFINE_REDUCE(shmem_long_max_reduce, long long, std::int64_t, kMax)
+GDRSHMEM_DEFINE_REDUCE(shmem_float_sum_reduce, float, float, kSum)
+GDRSHMEM_DEFINE_REDUCE(shmem_float_min_reduce, float, float, kMin)
+GDRSHMEM_DEFINE_REDUCE(shmem_float_max_reduce, float, float, kMax)
+GDRSHMEM_DEFINE_REDUCE(shmem_double_sum_reduce, double, double, kSum)
+GDRSHMEM_DEFINE_REDUCE(shmem_double_min_reduce, double, double, kMin)
+GDRSHMEM_DEFINE_REDUCE(shmem_double_max_reduce, double, double, kMax)
+
+#undef GDRSHMEM_DEFINE_TO_ALL
+#undef GDRSHMEM_DEFINE_REDUCE
+
+void shmem_longlong_max_to_all(long long* dst, const long long* src, std::size_t n) {
+  shmem_long_max_to_all(dst, src, n);
 }
 
 }  // namespace gdrshmem::capi

@@ -26,6 +26,7 @@
 
 namespace gdrshmem::core {
 class Ctx;
+class Team;
 }
 namespace gdrshmem::sim {
 class Process;
@@ -135,10 +136,69 @@ long long shmem_longlong_cswap(long long* sym, long long cond, long long value, 
 long long shmem_longlong_swap(long long* sym, long long value, int pe);
 int shmem_int_fadd(int* sym, int value, int pe);
 
+// ---- teams (OpenSHMEM 1.5 shapes) ------------------------------------------
+/// A team handle is a pointer to the per-PE core::Team object; PEs outside a
+/// split's new team hold SHMEM_TEAM_INVALID.
+using shmem_team_t = core::Team*;
+inline constexpr shmem_team_t SHMEM_TEAM_INVALID = nullptr;
+
+shmem_team_t shmem_team_world();
+/// Collective over `parent`'s members. On success returns 0 with `*new_team`
+/// set (SHMEM_TEAM_INVALID on non-members); returns nonzero when `parent` is
+/// invalid. Bad triplets / slot exhaustion throw (identically on every
+/// member).
+int shmem_team_split_strided(shmem_team_t parent, int start, int stride,
+                             int size, shmem_team_t* new_team);
+/// -1 for SHMEM_TEAM_INVALID, per the spec.
+int shmem_team_my_pe(shmem_team_t team);
+int shmem_team_n_pes(shmem_team_t team);
+/// `src_pe` of `src_team` in `dst_team`'s numbering; -1 when not a member
+/// (or either handle is invalid).
+int shmem_team_translate_pe(shmem_team_t src_team, int src_pe,
+                            shmem_team_t dst_team);
+void shmem_team_destroy(shmem_team_t team);
+void shmem_team_sync(shmem_team_t team);
+
 // ---- collectives --------------------------------------------------------------------
 void shmem_broadcastmem(void* dst, const void* src, std::size_t n, int root);
-void shmem_double_sum_to_all(double* dst, const double* src, std::size_t nreduce);
-void shmem_longlong_max_to_all(long long* dst, const long long* src, std::size_t n);
+void shmem_broadcastmem(shmem_team_t team, void* dst, const void* src,
+                        std::size_t n, int root);
 void shmem_fcollectmem(void* dst, const void* src, std::size_t nbytes);
+void shmem_fcollectmem(shmem_team_t team, void* dst, const void* src,
+                       std::size_t nbytes);
+void shmem_alltoallmem(void* dst, const void* src, std::size_t nbytes);
+void shmem_alltoallmem(shmem_team_t team, void* dst, const void* src,
+                       std::size_t nbytes);
+
+/// OpenSHMEM 1.4 typed active-set reductions over all PEs (no pWrk/pSync:
+/// the runtime's internal sync pool replaces them).
+void shmem_int_sum_to_all(int* dst, const int* src, std::size_t nreduce);
+void shmem_int_min_to_all(int* dst, const int* src, std::size_t nreduce);
+void shmem_int_max_to_all(int* dst, const int* src, std::size_t nreduce);
+void shmem_long_sum_to_all(long long* dst, const long long* src, std::size_t nreduce);
+void shmem_long_min_to_all(long long* dst, const long long* src, std::size_t nreduce);
+void shmem_long_max_to_all(long long* dst, const long long* src, std::size_t nreduce);
+void shmem_float_sum_to_all(float* dst, const float* src, std::size_t nreduce);
+void shmem_float_min_to_all(float* dst, const float* src, std::size_t nreduce);
+void shmem_float_max_to_all(float* dst, const float* src, std::size_t nreduce);
+void shmem_double_sum_to_all(double* dst, const double* src, std::size_t nreduce);
+void shmem_double_min_to_all(double* dst, const double* src, std::size_t nreduce);
+void shmem_double_max_to_all(double* dst, const double* src, std::size_t nreduce);
+/// Classic alias kept for existing code (long long variant).
+void shmem_longlong_max_to_all(long long* dst, const long long* src, std::size_t n);
+
+/// OpenSHMEM 1.5-style team reductions (shmem_int_sum_reduce, ...).
+void shmem_int_sum_reduce(shmem_team_t team, int* dst, const int* src, std::size_t n);
+void shmem_int_min_reduce(shmem_team_t team, int* dst, const int* src, std::size_t n);
+void shmem_int_max_reduce(shmem_team_t team, int* dst, const int* src, std::size_t n);
+void shmem_long_sum_reduce(shmem_team_t team, long long* dst, const long long* src, std::size_t n);
+void shmem_long_min_reduce(shmem_team_t team, long long* dst, const long long* src, std::size_t n);
+void shmem_long_max_reduce(shmem_team_t team, long long* dst, const long long* src, std::size_t n);
+void shmem_float_sum_reduce(shmem_team_t team, float* dst, const float* src, std::size_t n);
+void shmem_float_min_reduce(shmem_team_t team, float* dst, const float* src, std::size_t n);
+void shmem_float_max_reduce(shmem_team_t team, float* dst, const float* src, std::size_t n);
+void shmem_double_sum_reduce(shmem_team_t team, double* dst, const double* src, std::size_t n);
+void shmem_double_min_reduce(shmem_team_t team, double* dst, const double* src, std::size_t n);
+void shmem_double_max_reduce(shmem_team_t team, double* dst, const double* src, std::size_t n);
 
 }  // namespace gdrshmem::capi

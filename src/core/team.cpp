@@ -1,0 +1,26 @@
+#include "core/team.hpp"
+
+#include <string>
+
+namespace gdrshmem::core {
+
+int Team::world_pe(int team_pe) const {
+  if (team_pe < 0 || team_pe >= size_) {
+    throw ShmemError("team PE " + std::to_string(team_pe) +
+                     " out of range for a team of " + std::to_string(size_));
+  }
+  return start_ + team_pe * stride_;
+}
+
+int Team::index_of_world(int world_pe) const {
+  int off = world_pe - start_;
+  if (off < 0 || stride_ <= 0 || off % stride_ != 0) return -1;
+  int idx = off / stride_;
+  return idx < size_ ? idx : -1;
+}
+
+int Team::translate(const Team& src, int src_pe, const Team& dst) {
+  return dst.index_of_world(src.world_pe(src_pe));
+}
+
+}  // namespace gdrshmem::core

@@ -1,0 +1,65 @@
+// OpenSHMEM 1.5-style teams: an ordered subset of the world PEs described
+// by a (start, stride, size) triplet, with its own PE numbering, generation
+// counter, and a slot in the runtime's collectives sync pool
+// (core/collectives.*). Teams are created collectively via
+// Ctx::team_split_strided and used by the team-variant collectives.
+//
+// A Team object is per-PE state: every member holds its own instance with
+// the same world-relative triplet and slot but its own member index. PEs
+// that did not land in the team get no object (split returns nullptr, the
+// SHMEM_TEAM_INVALID analog).
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace gdrshmem::core {
+
+class Team {
+ public:
+  Team(int world_start, int world_stride, int size, int my_idx, int slot)
+      : start_(world_start),
+        stride_(world_stride),
+        size_(size),
+        my_idx_(my_idx),
+        slot_(slot) {}
+
+  /// Team size / my index within the team (shmem_team_n_pes / my_pe).
+  int n_pes() const { return size_; }
+  int my_pe() const { return my_idx_; }
+
+  /// World-relative triplet. Nested splits resolve to world numbering at
+  /// creation, so stride composes multiplicatively.
+  int start() const { return start_; }
+  int stride() const { return stride_; }
+
+  /// World PE of team member `team_pe`; throws on out-of-range.
+  int world_pe(int team_pe) const;
+  /// Team index of `world_pe`, or -1 when it is not a member.
+  int index_of_world(int world_pe) const;
+
+  /// shmem_team_translate_pe: `src_pe` of team `src` expressed in `dst`'s
+  /// numbering, or -1 when the PE is not a member of `dst`.
+  static int translate(const Team& src, int src_pe, const Team& dst);
+
+  /// Slot in the collectives sync pool (0 = TEAM_WORLD).
+  int slot() const { return slot_; }
+  bool is_world() const { return slot_ == 0; }
+
+  /// Per-team collective generation. Collectives on a team execute in the
+  /// same order on every member, so the counter advances identically and
+  /// generation-tagged flag values agree without communication.
+  std::uint64_t next_gen() { return ++gen_; }
+  std::uint64_t gen() const { return gen_; }
+
+ private:
+  int start_;
+  int stride_;
+  int size_;
+  int my_idx_;
+  int slot_;
+  std::uint64_t gen_ = 0;
+};
+
+}  // namespace gdrshmem::core

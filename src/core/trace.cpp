@@ -50,11 +50,12 @@ std::string Tracer::to_chrome_json() const {
   for (const TraceEvent& e : events()) {
     tracks.insert(e.pe);
     w.begin_object();
+    bool slice = e.is_op() || e.is_coll();
     w.field("name", to_string(e.kind));
-    w.field("cat", e.is_op() ? "op" : "fault");
-    w.field("ph", e.is_op() ? "X" : "i");
+    w.field("cat", e.is_op() ? "op" : e.is_coll() ? "coll" : "fault");
+    w.field("ph", slice ? "X" : "i");
     w.field_fixed("ts", e.start.to_us(), 3);  // Chrome ts unit: microseconds
-    if (e.is_op()) {
+    if (slice) {
       w.field_fixed("dur", (e.end - e.start).to_us(), 3);
     } else {
       w.field("s", "t");  // instant scoped to its thread (PE) track

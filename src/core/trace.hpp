@@ -39,6 +39,13 @@ struct TraceEvent {
     kProxyReissue,  // requester timed out and re-sent a proxy request
     kStaleDrop,     // recovering proxy discarded a stale ctrl message
     kRevoke,        // P2P capability withdrawn on a node
+    // Collective slices (core/collectives.*): one per engine entry, spanning
+    // the PE's time inside the collective. target = -1, protocol unset.
+    kCollBarrier,
+    kCollBcast,
+    kCollReduce,
+    kCollFcollect,
+    kCollAlltoall,
   } kind = Kind::kPut;
   Protocol protocol = Protocol::kCount_;  // kCount_ = unknown/none
   std::size_t bytes = 0;
@@ -50,6 +57,8 @@ struct TraceEvent {
   bool is_op() const {
     return kind == Kind::kPut || kind == Kind::kGet || kind == Kind::kAtomic;
   }
+  /// Collective slices also render as "X", under their own category.
+  bool is_coll() const { return kind >= Kind::kCollBarrier; }
 };
 
 inline const char* to_string(TraceEvent::Kind k) {
@@ -66,6 +75,11 @@ inline const char* to_string(TraceEvent::Kind k) {
     case TraceEvent::Kind::kProxyReissue: return "proxy-reissue";
     case TraceEvent::Kind::kStaleDrop: return "stale-drop";
     case TraceEvent::Kind::kRevoke: return "p2p-revoke";
+    case TraceEvent::Kind::kCollBarrier: return "barrier";
+    case TraceEvent::Kind::kCollBcast: return "bcast";
+    case TraceEvent::Kind::kCollReduce: return "allreduce";
+    case TraceEvent::Kind::kCollFcollect: return "fcollect";
+    case TraceEvent::Kind::kCollAlltoall: return "alltoall";
   }
   return "?";
 }

@@ -4,7 +4,10 @@
 // bandwidth caps (Table III) make staging designs win past a crossover.
 #pragma once
 
+#include <array>
 #include <cstddef>
+
+#include "core/types.hpp"
 
 namespace gdrshmem::core {
 
@@ -47,6 +50,28 @@ struct Tuning {
   // ---- baseline (host pipeline) -------------------------------------------
   /// Eager/rendezvous switch of the baseline transport.
   std::size_t eager_limit = 8 * 1024;
+
+  // ---- collectives engine (core/collectives.*) ----------------------------
+  /// Piece size of the chunked ring pipelines (allreduce reduce-scatter,
+  /// ring broadcast). GDRSHMEM_COLL_CHUNK. Also sizes the per-team sync
+  /// workspace (2 * coll_chunk per team slot, clamped to the heap).
+  std::size_t coll_chunk = 64 * 1024;
+  /// Allreduce: recursive doubling up to this many bytes, ring above.
+  std::size_t coll_rd_max = 16 * 1024;
+  /// Broadcast: binomial tree up to this size, chunked ring pipeline above.
+  std::size_t coll_bcast_binomial_max = 64 * 1024;
+  /// Fcollect: Bruck's log-step algorithm up to this per-PE block size
+  /// (when np * nbytes also fits the workspace), ring above.
+  std::size_t coll_bruck_max = 8 * 1024;
+  /// Alltoall: linear blast below this block size, pairwise rounds above.
+  std::size_t coll_pairwise_min = 32 * 1024;
+  /// GPU-domain buffers divide the small-message ceilings above by this
+  /// (kernel-launch overhead makes many small device combines costly, so
+  /// the bandwidth algorithms take over earlier).
+  std::size_t coll_gpu_ceiling_divisor = 4;
+  /// Forced algorithm per collective kind (kAuto = select by size/team/
+  /// domain). GDRSHMEM_COLL_ALGO.
+  std::array<CollAlgo, static_cast<std::size_t>(CollKind::kCount_)> coll_force{};
 
   // ---- software fault recovery (tier 2) -----------------------------------
   // Only consulted when RuntimeOptions::faults is non-empty. Tier 1 (the

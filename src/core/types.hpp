@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -41,6 +42,79 @@ inline const char* to_string(TransportKind k) {
 
 inline const char* to_string(Domain d) {
   return d == Domain::kHost ? "host" : "gpu";
+}
+
+/// Reduction operators of the collectives engine. kBand (bitwise AND) is
+/// integer-only; the runtime uses it internally for team-slot agreement.
+enum class ReduceOp { kSum, kMin, kMax, kBand };
+
+/// Element types the typed reductions cover (OpenSHMEM 1.4 subset).
+enum class ScalarType { kF32, kF64, kI32, kI64 };
+
+template <typename T>
+ScalarType scalar_tag();
+template <> inline ScalarType scalar_tag<float>() { return ScalarType::kF32; }
+template <> inline ScalarType scalar_tag<double>() { return ScalarType::kF64; }
+template <> inline ScalarType scalar_tag<std::int32_t>() { return ScalarType::kI32; }
+template <> inline ScalarType scalar_tag<std::int64_t>() { return ScalarType::kI64; }
+
+inline std::size_t scalar_size(ScalarType t) {
+  return (t == ScalarType::kF64 || t == ScalarType::kI64) ? 8 : 4;
+}
+
+inline const char* to_string(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum: return "sum";
+    case ReduceOp::kMin: return "min";
+    case ReduceOp::kMax: return "max";
+    case ReduceOp::kBand: return "band";
+  }
+  return "?";
+}
+
+/// Collective operations the engine implements (core/collectives.*).
+enum class CollKind { kBarrier, kBroadcast, kAllreduce, kFcollect, kAlltoall, kCount_ };
+
+/// Algorithms the engine can run; kAuto lets the size x team-span x domain
+/// selection decide. Not every algorithm applies to every kind — see
+/// coll::algo_supported.
+enum class CollAlgo {
+  kAuto,
+  kLinear,         // flat: gather-to-root / root-to-all / all-pairs blast
+  kDissemination,  // barrier
+  kBinomial,       // broadcast tree
+  kRing,           // chunked ring pipeline (bcast, allreduce, fcollect)
+  kRecDbl,         // recursive doubling allreduce
+  kBruck,          // log-step fcollect for small blocks
+  kPairwise,       // round-structured alltoall exchange
+  kCount_,
+};
+
+inline const char* to_string(CollKind k) {
+  switch (k) {
+    case CollKind::kBarrier: return "barrier";
+    case CollKind::kBroadcast: return "bcast";
+    case CollKind::kAllreduce: return "allreduce";
+    case CollKind::kFcollect: return "fcollect";
+    case CollKind::kAlltoall: return "alltoall";
+    case CollKind::kCount_: break;
+  }
+  return "?";
+}
+
+inline const char* to_string(CollAlgo a) {
+  switch (a) {
+    case CollAlgo::kAuto: return "auto";
+    case CollAlgo::kLinear: return "linear";
+    case CollAlgo::kDissemination: return "dissemination";
+    case CollAlgo::kBinomial: return "binomial";
+    case CollAlgo::kRing: return "ring";
+    case CollAlgo::kRecDbl: return "recdbl";
+    case CollAlgo::kBruck: return "bruck";
+    case CollAlgo::kPairwise: return "pairwise";
+    case CollAlgo::kCount_: break;
+  }
+  return "?";
 }
 
 /// Protocols a transport can select; used for accounting and tests.

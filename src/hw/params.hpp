@@ -43,6 +43,14 @@ struct SystemParams {
   /// One-time cost of cudaIpcOpenMemHandle (mapping a peer allocation).
   double cuda_ipc_open_us = 85.0;
 
+  // ---- reduction combine cost -------------------------------------------
+  /// Host-side elementwise combine (the collectives engine's CPU pass).
+  double cpu_reduce_ns_per_byte = 0.25;
+  /// Device-side combine rate; charged through the kernel-launch model
+  /// (cuda_kernel_launch_us + bytes * this), so small GPU combines pay the
+  /// realistic launch overhead.
+  double gpu_reduce_ns_per_byte = 0.04;
+
   // ---- InfiniBand ------------------------------------------------------
   /// FDR 4x link bandwidth as measured by the paper (MB/s).
   double ib_bandwidth_mbps = 6397.0;

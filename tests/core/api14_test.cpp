@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "core/report.hpp"
 #include "core/shmem_api.hpp"
 #include "test_util.hpp"
 
@@ -301,6 +302,90 @@ TEST(FromEnv, FaultPlanDrivesARun) {
   });
   EXPECT_TRUE(rt->faults_enabled());
   EXPECT_EQ(rt->faults().plan().seed, 3u);
+}
+
+TEST(FromEnv, CollAlgoSingleTokenForcesAllSupportingKinds) {
+  ScopedEnv e("GDRSHMEM_COLL_ALGO", "ring");
+  RuntimeOptions opts = RuntimeOptions::from_env();
+  using core::CollAlgo;
+  using core::CollKind;
+  auto forced = [&](CollKind k) {
+    return opts.tuning.coll_force[static_cast<std::size_t>(k)];
+  };
+  // Ring applies to bcast, allreduce, and fcollect; kinds that have no ring
+  // variant keep auto selection.
+  EXPECT_EQ(forced(CollKind::kBroadcast), CollAlgo::kRing);
+  EXPECT_EQ(forced(CollKind::kAllreduce), CollAlgo::kRing);
+  EXPECT_EQ(forced(CollKind::kFcollect), CollAlgo::kRing);
+  EXPECT_EQ(forced(CollKind::kBarrier), CollAlgo::kAuto);
+  EXPECT_EQ(forced(CollKind::kAlltoall), CollAlgo::kAuto);
+}
+
+TEST(FromEnv, CollAlgoPerKindListParses) {
+  ScopedEnv e("GDRSHMEM_COLL_ALGO", "bcast=binomial,allreduce=recdbl");
+  RuntimeOptions opts = RuntimeOptions::from_env();
+  using core::CollAlgo;
+  using core::CollKind;
+  EXPECT_EQ(opts.tuning.coll_force[static_cast<std::size_t>(
+                CollKind::kBroadcast)],
+            CollAlgo::kBinomial);
+  EXPECT_EQ(opts.tuning.coll_force[static_cast<std::size_t>(
+                CollKind::kAllreduce)],
+            CollAlgo::kRecDbl);
+  EXPECT_EQ(opts.tuning.coll_force[static_cast<std::size_t>(
+                CollKind::kFcollect)],
+            CollAlgo::kAuto);
+}
+
+TEST(FromEnv, CollAlgoBadValuesAreErrors) {
+  {
+    ScopedEnv e("GDRSHMEM_COLL_ALGO", "quantum");  // no such algorithm
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    ScopedEnv e("GDRSHMEM_COLL_ALGO", "reduce=ring");  // no such kind
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    ScopedEnv e("GDRSHMEM_COLL_ALGO", "barrier=bruck");  // unsupported pair
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    ScopedEnv e("GDRSHMEM_COLL_ALGO", "pairwise");  // alltoall-only token is
+    RuntimeOptions opts = RuntimeOptions::from_env();  // still a valid single
+    EXPECT_EQ(opts.tuning.coll_force[static_cast<std::size_t>(
+                  core::CollKind::kAlltoall)],
+              core::CollAlgo::kPairwise);
+  }
+}
+
+TEST(FromEnv, CollChunkParsesAndValidates) {
+  {
+    ScopedEnv e("GDRSHMEM_COLL_CHUNK", "8K");
+    EXPECT_EQ(RuntimeOptions::from_env().tuning.coll_chunk, 8u << 10);
+  }
+  {
+    ScopedEnv e("GDRSHMEM_COLL_CHUNK", "2K");  // below the 4K floor
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+}
+
+TEST(FromEnv, CollAlgoFlowsIntoARun) {
+  // Forcing the ring allreduce through the environment must actually steer
+  // the engine: the per-algorithm metrics series appears in the report.
+  ScopedEnv e("GDRSHMEM_COLL_ALGO", "allreduce=ring");
+  RuntimeOptions opts = RuntimeOptions::from_env();
+  opts.transport = TransportKind::kEnhancedGdr;
+  auto rt = run_spmd(make_cluster(1, 4), opts, [&](Ctx& ctx) {
+    auto* v = static_cast<std::int64_t*>(ctx.shmalloc(8));
+    *v = ctx.my_pe();
+    ctx.barrier_all();
+    ctx.sum_to_all(v, v, 1);
+    EXPECT_EQ(*v, 6);
+    ctx.barrier_all();
+  });
+  const std::string report = core::format_report_json(*rt);
+  EXPECT_NE(report.find("coll_bytes/allreduce/ring"), std::string::npos);
 }
 
 }  // namespace

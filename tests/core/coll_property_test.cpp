@@ -1,0 +1,297 @@
+// Property tests for the collectives engine: every forced algorithm must
+// produce byte-identical results to a naive locally-computed reference, on
+// world and strided teams, in both buffer domains, bit-identically across
+// both execution backends, and unchanged under an active fault plan (the
+// retransmit path must not reorder the data-before-flag protocol).
+//
+// All payloads are integer-valued so that algorithm choice (which changes
+// reduction association order) cannot change the bytes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/collectives.hpp"
+#include "sim/fault.hpp"
+#include "test_util.hpp"
+
+namespace gdrshmem::core {
+namespace {
+
+using testing::make_cluster;
+using testing::make_options;
+using testing::run_spmd;
+
+constexpr int kWorldPes = 6;  // make_cluster(2, 3)
+
+/// Deterministic per-element payload, integer-valued and sign-mixed.
+std::int32_t pattern(int world_pe, std::size_t i) {
+  return static_cast<std::int32_t>(
+             (static_cast<std::uint64_t>(world_pe + 1) * 2654435761u +
+              i * 40503u) %
+             2001) -
+         1000;
+}
+
+struct Scenario {
+  CollKind kind;
+  CollAlgo algo;
+  int start = 0, stride = 1, size = kWorldPes;  // team triplet (world default)
+  std::size_t nelems = 0;                       // int32 elements per block
+  ReduceOp op = ReduceOp::kSum;
+  Domain dom = Domain::kHost;
+  const char* faults = nullptr;
+
+  bool world() const {
+    return start == 0 && stride == 1 && size == kWorldPes;
+  }
+  std::string label() const {
+    std::string s = std::string(to_string(kind)) + "/" + to_string(algo) +
+                    " team{" + std::to_string(start) + "," +
+                    std::to_string(stride) + "," + std::to_string(size) +
+                    "} n=" + std::to_string(nelems);
+    if (dom == Domain::kGpu) s += " gpu";
+    if (faults != nullptr) s += std::string(" faults[") + faults + "]";
+    return s;
+  }
+};
+
+struct Outcome {
+  std::vector<std::int32_t> data;  // per-PE results, world-PE-major
+  std::int64_t end_ns = 0;
+};
+
+/// Elements each member's destination holds.
+std::size_t dst_elems(const Scenario& sc) {
+  // Fcollect gathers one nelems-sized block per member; alltoall's send and
+  // receive vectors are both nelems total (one block per peer inside).
+  return sc.kind == CollKind::kFcollect
+             ? static_cast<std::size_t>(sc.size) * sc.nelems
+             : sc.nelems;
+}
+
+Outcome run_scenario(const Scenario& sc, sim::BackendKind backend) {
+  RuntimeOptions opts = make_options(TransportKind::kEnhancedGdr);
+  opts.sim_backend = backend;
+  opts.tuning.coll_force[static_cast<std::size_t>(sc.kind)] = sc.algo;
+  if (sc.faults != nullptr) opts.faults = sim::FaultPlan::parse(sc.faults);
+
+  const std::size_t per_pe = dst_elems(sc);
+  Outcome out;
+  out.data.assign(per_pe * kWorldPes, 0);
+
+  auto rt = run_spmd(make_cluster(2, 3), opts, [&](Ctx& ctx) {
+    const int me = ctx.my_pe();
+    const std::size_t src_bytes = sc.nelems * 4;
+    const std::size_t dst_bytes = per_pe * 4;
+    auto* src = static_cast<std::int32_t*>(ctx.shmalloc(src_bytes, sc.dom));
+    auto* dst = static_cast<std::int32_t*>(ctx.shmalloc(dst_bytes, sc.dom));
+
+    std::vector<std::int32_t> host_src(sc.nelems);
+    for (std::size_t i = 0; i < sc.nelems; ++i) host_src[i] = pattern(me, i);
+    ctx.cuda_memcpy(src, host_src.data(), src_bytes);
+    std::memset(dst, 0, dst_bytes);
+    ctx.barrier_all();
+
+    Team* team = nullptr;
+    if (!sc.world()) {
+      team = ctx.team_split_strided(ctx.team_world(), sc.start, sc.stride,
+                                    sc.size);
+    }
+    Team& t = team != nullptr ? *team : ctx.team_world();
+    const bool member = sc.world() || team != nullptr;
+    if (member) {
+      switch (sc.kind) {
+        case CollKind::kBroadcast:
+          // Root is the last team member; its dst must also carry the data.
+          ctx.team_broadcast(t, dst, src, src_bytes, t.n_pes() - 1);
+          if (t.my_pe() == t.n_pes() - 1) ctx.cuda_memcpy(dst, src, src_bytes);
+          break;
+        case CollKind::kAllreduce:
+          ctx.team_reduce(t, dst, src, sc.nelems, sc.op);
+          break;
+        case CollKind::kFcollect:
+          ctx.team_fcollect(t, dst, src, src_bytes);
+          break;
+        case CollKind::kAlltoall:
+          ctx.team_alltoall(t, dst, src, src_bytes / t.n_pes());
+          break;
+        default:
+          ctx.team_sync(t);
+          break;
+      }
+      ctx.cuda_memcpy(&out.data[static_cast<std::size_t>(me) * per_pe], dst,
+                      dst_bytes);
+      if (team != nullptr) ctx.team_destroy(team);
+    }
+    ctx.barrier_all();
+  });
+  out.end_ns = rt->engine().now().count_ns();
+  return out;
+}
+
+/// Naive reference, computed without the runtime.
+std::vector<std::int32_t> reference(const Scenario& sc) {
+  const std::size_t per_pe = dst_elems(sc);
+  std::vector<std::int32_t> ref(per_pe * kWorldPes, 0);
+  std::vector<int> members(sc.size);
+  for (int r = 0; r < sc.size; ++r) members[r] = sc.start + r * sc.stride;
+  for (int r = 0; r < sc.size; ++r) {
+    const int w = members[r];
+    auto* mine = &ref[static_cast<std::size_t>(w) * per_pe];
+    switch (sc.kind) {
+      case CollKind::kBroadcast:
+        for (std::size_t i = 0; i < sc.nelems; ++i) {
+          mine[i] = pattern(members[sc.size - 1], i);
+        }
+        break;
+      case CollKind::kAllreduce:
+        for (std::size_t i = 0; i < sc.nelems; ++i) {
+          std::int64_t acc = pattern(members[0], i);
+          for (int m = 1; m < sc.size; ++m) {
+            std::int64_t v = pattern(members[m], i);
+            if (sc.op == ReduceOp::kSum) acc += v;
+            if (sc.op == ReduceOp::kMin) acc = v < acc ? v : acc;
+            if (sc.op == ReduceOp::kMax) acc = v > acc ? v : acc;
+          }
+          mine[i] = static_cast<std::int32_t>(acc);
+        }
+        break;
+      case CollKind::kFcollect:
+        for (int m = 0; m < sc.size; ++m) {
+          for (std::size_t i = 0; i < sc.nelems; ++i) {
+            mine[static_cast<std::size_t>(m) * sc.nelems + i] =
+                pattern(members[m], i);
+          }
+        }
+        break;
+      case CollKind::kAlltoall: {
+        // Member m's block r lands in member r's slot m.
+        const std::size_t blk = sc.nelems / static_cast<std::size_t>(sc.size);
+        for (int m = 0; m < sc.size; ++m) {
+          for (std::size_t i = 0; i < blk; ++i) {
+            mine[static_cast<std::size_t>(m) * blk + i] =
+                pattern(members[m], static_cast<std::size_t>(r) * blk + i);
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return ref;
+}
+
+void check(const Scenario& sc) {
+  SCOPED_TRACE(sc.label());
+  Outcome fib = run_scenario(sc, sim::BackendKind::kFibers);
+  std::vector<std::int32_t> ref = reference(sc);
+  ASSERT_EQ(fib.data.size(), ref.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(fib.data[i], ref[i]) << "flat index " << i;
+  }
+  Outcome thr = run_scenario(sc, sim::BackendKind::kThreads);
+  EXPECT_EQ(fib.data, thr.data) << "backends disagree on payload";
+  EXPECT_EQ(fib.end_ns, thr.end_ns) << "backends disagree on virtual time";
+}
+
+// Workspace is 2 * coll_chunk = 128 KiB by default; capacity-limited
+// algorithms (linear allreduce, bruck, recdbl) get sizes inside their caps.
+constexpr std::size_t kWsBytes = 128u << 10;
+
+TEST(CollProperty, AllreduceAllAlgorithmsMatchReference) {
+  std::mt19937 rng(20260806);
+  for (CollAlgo algo :
+       {CollAlgo::kLinear, CollAlgo::kRecDbl, CollAlgo::kRing}) {
+    const std::size_t cap_bytes =
+        algo == CollAlgo::kLinear ? kWsBytes / kWorldPes : kWsBytes;
+    for (int rep = 0; rep < 3; ++rep) {
+      std::size_t nelems = 1 + rng() % (cap_bytes / 4);
+      check({CollKind::kAllreduce, algo, 0, 1, kWorldPes, nelems});
+    }
+    // Strided team {1, 3, 5} with min instead of sum.
+    check({CollKind::kAllreduce, algo, 1, 2, 3, 1 + rng() % 4096,
+           ReduceOp::kMin});
+  }
+  // Ring streaming far beyond the workspace: nbytes * np > 256K (120000
+  // int32 elements = 480 KB per PE across 6 PEs).
+  check({CollKind::kAllreduce, CollAlgo::kRing, 0, 1, kWorldPes, 120000});
+}
+
+TEST(CollProperty, BroadcastAllAlgorithmsMatchReference) {
+  std::mt19937 rng(7);
+  for (CollAlgo algo :
+       {CollAlgo::kLinear, CollAlgo::kBinomial, CollAlgo::kRing}) {
+    for (std::size_t nelems :
+         {std::size_t{1}, std::size_t{257}, std::size_t{1 + rng() % 50000}}) {
+      check({CollKind::kBroadcast, algo, 0, 1, kWorldPes, nelems});
+    }
+    check({CollKind::kBroadcast, algo, 1, 2, 3, 1 + rng() % 9000});
+  }
+  // Multi-piece ring pipeline: > 4 chunks of the default 64K piece.
+  check({CollKind::kBroadcast, CollAlgo::kRing, 0, 1, kWorldPes, 80000});
+}
+
+TEST(CollProperty, FcollectAllAlgorithmsMatchReference) {
+  std::mt19937 rng(99);
+  for (CollAlgo algo :
+       {CollAlgo::kLinear, CollAlgo::kBruck, CollAlgo::kRing}) {
+    const std::size_t cap_bytes =
+        algo == CollAlgo::kBruck ? kWsBytes / kWorldPes : 64u << 10;
+    for (int rep = 0; rep < 3; ++rep) {
+      check({CollKind::kFcollect, algo, 0, 1, kWorldPes,
+             1 + rng() % (cap_bytes / 4)});
+    }
+    check({CollKind::kFcollect, algo, 1, 2, 3, 1 + rng() % 2048});
+  }
+}
+
+TEST(CollProperty, AlltoallAlgorithmsMatchReference) {
+  std::mt19937 rng(4242);
+  for (CollAlgo algo : {CollAlgo::kLinear, CollAlgo::kPairwise}) {
+    for (int rep = 0; rep < 3; ++rep) {
+      // nelems here is the full send vector; one block per peer.
+      std::size_t blk = 1 + rng() % 8000;
+      check({CollKind::kAlltoall, algo, 0, 1, kWorldPes,
+             blk * kWorldPes});
+      check({CollKind::kAlltoall, algo, 1, 2, 3, (1 + rng() % 2000) * 3});
+    }
+  }
+}
+
+TEST(CollProperty, GpuDomainCombinesMatchReference) {
+  // GPU-heap destinations run their combine stage through the kernel cost
+  // model; bytes must be unchanged.
+  check({CollKind::kAllreduce, CollAlgo::kRecDbl, 0, 1, kWorldPes, 3000,
+         ReduceOp::kSum, Domain::kGpu});
+  check({CollKind::kAllreduce, CollAlgo::kRing, 0, 1, kWorldPes, 40000,
+         ReduceOp::kMax, Domain::kGpu});
+  check({CollKind::kBroadcast, CollAlgo::kRing, 1, 2, 3, 30000,
+         ReduceOp::kSum, Domain::kGpu});
+  check({CollKind::kFcollect, CollAlgo::kBruck, 0, 1, kWorldPes, 1024,
+         ReduceOp::kSum, Domain::kGpu});
+}
+
+TEST(CollProperty, ResultsUnchangedUnderActiveFaultPlan) {
+  // Wire errors force retransmits; the engine must still deliver correct
+  // bytes (flag puts are quiesced so same-slot flags cannot reorder) and
+  // stay bit-identical across backends under the same seed.
+  const char* plan = "seed=3,wire_error_rate=5e-3";
+  check({CollKind::kAllreduce, CollAlgo::kRing, 0, 1, kWorldPes, 50000,
+         ReduceOp::kSum, Domain::kHost, plan});
+  check({CollKind::kAllreduce, CollAlgo::kRecDbl, 1, 2, 3, 2048,
+         ReduceOp::kSum, Domain::kHost, plan});
+  check({CollKind::kBroadcast, CollAlgo::kBinomial, 0, 1, kWorldPes, 20000,
+         ReduceOp::kSum, Domain::kHost, plan});
+  check({CollKind::kFcollect, CollAlgo::kBruck, 0, 1, kWorldPes, 512,
+         ReduceOp::kSum, Domain::kHost, plan});
+  check({CollKind::kAlltoall, CollAlgo::kPairwise, 0, 1, kWorldPes,
+         1000 * kWorldPes, ReduceOp::kSum, Domain::kHost, plan});
+}
+
+}  // namespace
+}  // namespace gdrshmem::core

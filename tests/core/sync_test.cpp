@@ -162,12 +162,23 @@ TEST(Sync, ReduceInPlaceAlias) {
            });
 }
 
-TEST(Sync, ReduceTooLargeThrows) {
+// The ring allreduce streams through a fixed workspace, so reductions far
+// larger than any internal scratch must complete (the old engine threw once
+// nbytes * np exceeded a 256K region).
+TEST(Sync, ReduceLargerThanWorkspaceCompletes) {
+  constexpr std::size_t kElems = (1u << 20) / sizeof(double);  // 1 MB per PE
   run_spmd(make_cluster(1, 2), make_options(TransportKind::kEnhancedGdr),
            [&](Ctx& ctx) {
              auto* big = static_cast<double*>(ctx.shmalloc(1u << 20));
-             EXPECT_THROW(ctx.sum_to_all(big, big, (1u << 20) / sizeof(double)),
-                          ShmemError);
+             for (std::size_t i = 0; i < kElems; ++i) {
+               big[i] = static_cast<double>(ctx.my_pe() + 1) *
+                        static_cast<double>(i % 257);
+             }
+             ctx.barrier_all();
+             ctx.sum_to_all(big, big, kElems);
+             for (std::size_t i = 0; i < kElems; ++i) {
+               ASSERT_EQ(big[i], 3.0 * static_cast<double>(i % 257));
+             }
              ctx.barrier_all();
            });
 }
