@@ -1,33 +1,55 @@
-// Engine execution-backend overhead: how fast does the simulator itself run?
+// Engine execution overhead: how fast does the simulator itself run?
 //
 // Every other bench in this directory reports *virtual* time; this one
-// reports *wall* time. It drives a message-rate-style workload (the shape of
-// bench_message_rate: a window of small messages between many PEs, with a
-// handoff at every post/receive) on the bare sim::Engine under both
-// execution backends and reports events/sec. The fiber backend replaces two
-// kernel context switches per handoff with a user-space swap; the measured
-// speedup is the headline number of the backend (tracked in
-// BENCH_engine.json; see EXPERIMENTS.md "Engine overhead").
+// reports *wall* time. Four sections:
 //
-// Determinism cross-check is built in: both backends must execute the exact
-// same number of events and reach the same virtual end time, or the bench
-// aborts.
+//   1. backend A/B   — the original 64-PE message-rate workload under the
+//                      thread and fiber backends (fiber speedup headline).
+//   2. PE sweep      — the same workload at 64 -> 16384 PEs (fibers; 16K OS
+//                      threads is not a thing), reporting events/sec per
+//                      scale point. This is the scale-out regression series:
+//                      events/sec collapsing at high PE counts means the
+//                      event queue or the stack management stopped scaling.
+//   3. 4K-PE A/B     — optimized configuration (timing-wheel queue, warm
+//                      fiber-stack pool, batched wakeups, fast fiber switch)
+//                      vs the PR-1 baseline (binary heap, cold unpooled
+//                      stacks, per-waiter wakeups, swapcontext + its
+//                      per-swap syscall) on a barrier+message-rate
+//                      workload, measured end-to-end: engine construction,
+//                      spawn, run, teardown. Headline: speedup_4kpe (target
+//                      >= 5x; the pool only pays off across repeated runs in
+//                      one process, which is exactly the sweep/CI shape).
+//   4. cross-checks  — heap and wheel must execute identical event counts to
+//                      identical virtual end times (and batching must not
+//                      move virtual time) or the bench aborts: the perf
+//                      numbers are meaningless if determinism broke.
+//
+// `--scale-smoke` runs a single 1K-PE barrier+message-rate round under a
+// wall-clock budget and exits — the cheap scale canary for check_tier1.sh.
+//
+// Wall numbers are machine-dependent; the perf gate compares the
+// deterministic `events` per wall point exactly, events/sec only against a
+// loose floor (PERF_WALL_FRAC), and virtual_us points tightly.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
 #include "sim/engine.hpp"
 #include "sim/mailbox.hpp"
+#include "sim/stack_pool.hpp"
 #include "sim/time.hpp"
 
 using namespace gdrshmem;
 using sim::BackendKind;
 using sim::Duration;
 using sim::Engine;
+using sim::FiberStackPool;
 using sim::Mailbox;
 using sim::Process;
+using sim::QueueKind;
 
 namespace {
 
@@ -35,60 +57,131 @@ struct Result {
   double wall_s = 0;
   std::uint64_t events = 0;
   std::int64_t virtual_end_ns = 0;
+  std::size_t queue_hwm = 0;
 
   double events_per_sec() const {
     return wall_s > 0 ? static_cast<double>(events) / wall_s : 0;
   }
 };
 
-/// 64-PE message-rate workload: each PE posts a window of messages to its
-/// right neighbour's mailbox, drains its own, and synchronizes — so every
-/// message costs a blocked receive and a wakeup, exactly the handoff pattern
-/// of the put/quiet loops in bench_message_rate.
-Result run_message_rate(BackendKind kind, int pes, int iters, int window) {
+struct Config {
+  BackendKind backend = BackendKind::kFibers;
+  QueueKind queue = QueueKind::kWheel;
+  bool batch = true;
+  bool barrier = false;  ///< add a notification barrier per iteration
+  bool time_lifecycle = false;  ///< include construct/spawn/teardown in wall_s
+};
+
+/// Message-rate workload: each PE posts a window of messages to its right
+/// neighbour's mailbox, drains its own, and optionally joins a full-PE
+/// barrier — so every message costs a blocked receive and a wakeup, and each
+/// barrier release is a PE-count-sized same-instant burst.
+Result run_message_rate(const Config& cfg, int pes, int iters, int window) {
   Result res;
-  Engine eng(kind);
-  std::vector<Mailbox<int>> boxes(static_cast<std::size_t>(pes));
-
-  for (int pe = 0; pe < pes; ++pe) {
-    eng.spawn("pe" + std::to_string(pe), [&, pe](Process& p) {
-      const int right = (pe + 1) % pes;
-      for (int i = 0; i < iters; ++i) {
-        for (int w = 0; w < window; ++w) {
-          boxes[static_cast<std::size_t>(right)].post(w);
-          p.delay(Duration::ns(5));  // per-message injection cost
-        }
-        for (int w = 0; w < window; ++w) {
-          boxes[static_cast<std::size_t>(pe)].receive(p);
-        }
-      }
-    });
-  }
-
   const double t0 = bench::wall_now();
-  eng.run();
-  res.wall_s = bench::wall_now() - t0;
-  res.events = eng.events_executed();
-  res.virtual_end_ns = (eng.now() - sim::Time::zero()).count_ns();
+  double run_wall = 0;
+  {
+    Engine eng(cfg.backend, cfg.queue);
+    eng.set_batch_wakeups(cfg.batch);
+    std::vector<Mailbox<int>> boxes(static_cast<std::size_t>(pes));
+    sim::Notification barrier;
+    int waiting = 0;
+
+    for (int pe = 0; pe < pes; ++pe) {
+      eng.spawn("pe" + std::to_string(pe), [&, pe](Process& p) {
+        const int right = (pe + 1) % pes;
+        for (int i = 0; i < iters; ++i) {
+          for (int w = 0; w < window; ++w) {
+            boxes[static_cast<std::size_t>(right)].post(w);
+            p.delay(Duration::ns(5));  // per-message injection cost
+          }
+          for (int w = 0; w < window; ++w) {
+            boxes[static_cast<std::size_t>(pe)].receive(p);
+          }
+          if (cfg.barrier) {
+            if (++waiting == pes) {
+              waiting = 0;
+              barrier.notify();
+            } else {
+              p.await(barrier);
+            }
+          }
+        }
+      });
+    }
+
+    const double r0 = bench::wall_now();
+    eng.run();
+    run_wall = bench::wall_now() - r0;
+    res.events = eng.events_executed();
+    res.virtual_end_ns = (eng.now() - sim::Time::zero()).count_ns();
+    res.queue_hwm = eng.queue_size_hwm();
+  }  // engine teardown (stack release/unmap) inside the lifecycle window
+  res.wall_s = cfg.time_lifecycle ? bench::wall_now() - t0 : run_wall;
   return res;
+}
+
+[[noreturn]] void die_divergence(const char* what, const Result& a,
+                                 const Result& b) {
+  std::fprintf(stderr,
+               "FATAL: %s diverged (events %llu vs %llu, end %lld vs %lld "
+               "ns) — determinism contract broken\n",
+               what, static_cast<unsigned long long>(a.events),
+               static_cast<unsigned long long>(b.events),
+               static_cast<long long>(a.virtual_end_ns),
+               static_cast<long long>(b.virtual_end_ns));
+  std::exit(1);
+}
+
+/// --scale-smoke: one 1K-PE barrier+message-rate round under a wall budget.
+/// The budget is deliberately loose (CI boxes vary wildly); it catches
+/// catastrophic scale regressions, not percent-level drift.
+int scale_smoke() {
+  constexpr double kBudgetSeconds = 20.0;
+  Config cfg;
+  cfg.barrier = true;
+  cfg.time_lifecycle = true;
+  Result warm = run_message_rate(cfg, 128, 2, 4);  // warm the stack pool
+  Result r = run_message_rate(cfg, 1024, 4, 8);
+  std::printf("scale-smoke: 1024-PE barrier+msgrate: %llu events, %.3f s "
+              "(budget %.0f s), queue hwm %zu\n",
+              static_cast<unsigned long long>(r.events), r.wall_s,
+              kBudgetSeconds, r.queue_hwm);
+  (void)warm;
+  if (r.wall_s > kBudgetSeconds) {
+    std::fprintf(stderr, "scale-smoke FAILED: %.3f s exceeds %.0f s budget\n",
+                 r.wall_s, kBudgetSeconds);
+    return 1;
+  }
+  if (r.queue_hwm < 1024) {
+    std::fprintf(stderr, "scale-smoke FAILED: queue hwm %zu < PE count — "
+                 "barrier burst did not reach the queue\n", r.queue_hwm);
+    return 1;
+  }
+  std::printf("scale-smoke OK\n");
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int pes = 64;
-  const int iters = 50;
-  const int window = 16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale-smoke") == 0) return scale_smoke();
+  }
 
+  // ---- 1. backend A/B at 64 PEs (the original headline) ------------------
+  const int pes = 64, iters = 50, window = 16;
   std::printf("== engine overhead: %d-PE message-rate workload, "
               "%d iters x window %d ==\n", pes, iters, window);
 
-  // Warm both backends once (thread pool spin-up, page faults), then measure.
-  run_message_rate(BackendKind::kFibers, 8, 2, 4);
-  run_message_rate(BackendKind::kThreads, 8, 2, 4);
+  Config threads_cfg, fibers_cfg;
+  threads_cfg.backend = BackendKind::kThreads;
+  // Warm both backends once (thread pool spin-up, stack pool, page faults).
+  run_message_rate(fibers_cfg, 8, 2, 4);
+  run_message_rate(threads_cfg, 8, 2, 4);
 
-  Result threads = run_message_rate(BackendKind::kThreads, pes, iters, window);
-  Result fibers = run_message_rate(BackendKind::kFibers, pes, iters, window);
+  Result threads = run_message_rate(threads_cfg, pes, iters, window);
+  Result fibers = run_message_rate(fibers_cfg, pes, iters, window);
 
   std::printf("%-10s %12s %14s %16s\n", "backend", "events", "wall (s)",
               "events/sec");
@@ -98,30 +191,137 @@ int main(int argc, char** argv) {
   std::printf("%-10s %12llu %14.4f %16.0f\n", "fibers",
               static_cast<unsigned long long>(fibers.events), fibers.wall_s,
               fibers.events_per_sec());
-
   if (threads.events != fibers.events ||
       threads.virtual_end_ns != fibers.virtual_end_ns) {
-    std::fprintf(stderr,
-                 "FATAL: backends diverged (events %llu vs %llu, end %lld vs "
-                 "%lld ns) — determinism contract broken\n",
-                 static_cast<unsigned long long>(threads.events),
-                 static_cast<unsigned long long>(fibers.events),
-                 static_cast<long long>(threads.virtual_end_ns),
-                 static_cast<long long>(fibers.virtual_end_ns));
-    return 1;
+    die_divergence("backends", threads, fibers);
   }
-
   const double speedup = fibers.events_per_sec() / threads.events_per_sec();
   std::printf("fiber speedup: %.1fx (target: >= 5x)\n\n", speedup);
 
   const std::string base = "engine/msgrate/" + std::to_string(pes) + "pe";
   bench::add_wall_point(base + "/threads", threads.wall_s, threads.events);
   bench::add_wall_point(base + "/fibers", fibers.wall_s, fibers.events);
-  // The virtual end time is deterministic, so the perf gate can watch it
-  // (the wall numbers above are machine-dependent and ignored by the gate).
   bench::add_point(base + "/virtual_end",
                    static_cast<double>(fibers.virtual_end_ns) * 1e-3);
   bench::add_metric("speedup_fibers_vs_threads", speedup);
   bench::add_metric("pes", static_cast<double>(pes));
+
+  // ---- 2. PE-count sweep 64 -> 16384 (fibers) ----------------------------
+  // iters*window shrinks as PEs grow so each point stays seconds-scale; the
+  // gated quantity is events (exact) and events/sec (floor), not wall time.
+  struct SweepPoint { int pes, iters, window; };
+  const SweepPoint sweep[] = {
+      {64, 50, 16}, {256, 24, 16}, {1024, 12, 8}, {4096, 6, 8}, {16384, 2, 6},
+  };
+  std::printf("== PE-count sweep (fibers, wheel queue, batched wakeups, "
+              "barrier each iter) ==\n");
+  std::printf("%8s %12s %14s %16s %12s\n", "pes", "events", "wall (s)",
+              "events/sec", "queue hwm");
+  for (const SweepPoint& sp : sweep) {
+    Config cfg;
+    cfg.barrier = true;
+    Result r = run_message_rate(cfg, sp.pes, sp.iters, sp.window);
+    std::printf("%8d %12llu %14.4f %16.0f %12zu\n", sp.pes,
+                static_cast<unsigned long long>(r.events), r.wall_s,
+                r.events_per_sec(), r.queue_hwm);
+    const std::string name = "engine/sweep/" + std::to_string(sp.pes) + "pe";
+    bench::add_wall_point(name + "/fibers", r.wall_s, r.events);
+    bench::add_point(name + "/virtual_end",
+                     static_cast<double>(r.virtual_end_ns) * 1e-3);
+  }
+  std::printf("\n");
+
+  // ---- 3. 4K-PE optimized-vs-baseline A/B --------------------------------
+  // End-to-end lifecycle timing (construct + spawn + run + teardown): the
+  // pool's mmap/munmap savings, the wheel/batching queue savings, and the
+  // syscall-free fiber switch all land in this window. Baseline = PR-1
+  // engine shape: heap queue, per-waiter wakeups, pooling disabled (every
+  // stack is a fresh mmap, torn down again), swapcontext handoffs (an
+  // rt_sigprocmask syscall per switch). The switch mode is read per Engine
+  // construction, so pinning it via the environment around each run is exact.
+  // The unit under test is a *job*: construct, spawn 4K PEs, run a
+  // barrier+message-rate round, tear down — repeated kReps times in one
+  // process, which is exactly how the engine is used (every test, bench
+  // point, and sweep iteration is its own Engine lifetime). The stack
+  // pool's whole value is amortization across those lifetimes, so the A/B
+  // must include them; a single long in-engine run would hide it.
+  const int ab_pes = 4096, ab_iters = 1, ab_window = 4, ab_reps = 3;
+  FiberStackPool& pool = FiberStackPool::instance();
+  const std::size_t pool_cap = pool.capacity();
+
+  auto run_reps = [&](const Config& cfg) {
+    Result total;
+    for (int rep = 0; rep < ab_reps; ++rep) {
+      Result r = run_message_rate(cfg, ab_pes, ab_iters, ab_window);
+      total.wall_s += r.wall_s;
+      total.events += r.events;
+      if (rep == 0) {
+        total.virtual_end_ns = r.virtual_end_ns;
+      } else if (r.virtual_end_ns != total.virtual_end_ns) {
+        die_divergence("4K A/B repetitions", total, r);
+      }
+    }
+    return total;
+  };
+
+  Config baseline_cfg;
+  baseline_cfg.queue = QueueKind::kHeap;
+  baseline_cfg.batch = false;
+  baseline_cfg.barrier = true;
+  baseline_cfg.time_lifecycle = true;
+  pool.set_capacity(0);
+  pool.trim();
+  ::setenv("GDRSHMEM_SIM_FIBER_SWITCH", "ucontext", 1);
+  Result ab_base = run_reps(baseline_cfg);
+
+  Config opt_cfg = baseline_cfg;
+  opt_cfg.queue = QueueKind::kWheel;
+  opt_cfg.batch = true;
+  pool.set_capacity(pool_cap);
+  ::setenv("GDRSHMEM_SIM_FIBER_SWITCH", "fast", 1);
+  run_message_rate(opt_cfg, ab_pes, 1, 1);  // warm the pool at 4K geometry
+  Result ab_opt = run_reps(opt_cfg);
+  ::unsetenv("GDRSHMEM_SIM_FIBER_SWITCH");
+
+  if (ab_base.virtual_end_ns != ab_opt.virtual_end_ns) {
+    die_divergence("4K A/B configs", ab_base, ab_opt);
+  }
+  const double ab_speedup = ab_base.wall_s / ab_opt.wall_s;
+  std::printf("== 4K-PE A/B (%d jobs, lifecycle wall: "
+              "construct+spawn+run+teardown each) ==\n", ab_reps);
+  std::printf("baseline  (heap, unpooled, unbatched, ucontext): %.4f s, "
+              "%llu events\n",
+              ab_base.wall_s, static_cast<unsigned long long>(ab_base.events));
+  std::printf("optimized (wheel, pooled, batched, fast switch): %.4f s, "
+              "%llu events\n",
+              ab_opt.wall_s, static_cast<unsigned long long>(ab_opt.events));
+  std::printf("speedup: %.1fx (target: >= 5x)\n\n", ab_speedup);
+  bench::add_wall_point("engine/4kpe_ab/baseline", ab_base.wall_s,
+                        ab_base.events);
+  bench::add_wall_point("engine/4kpe_ab/optimized", ab_opt.wall_s,
+                        ab_opt.events);
+  bench::add_metric("speedup_4kpe_vs_baseline", ab_speedup);
+
+  // ---- 4. queue/batching determinism cross-checks ------------------------
+  {
+    Config heap_cfg, wheel_cfg;
+    heap_cfg.queue = QueueKind::kHeap;
+    heap_cfg.barrier = wheel_cfg.barrier = true;
+    Result h = run_message_rate(heap_cfg, 256, 6, 8);
+    Result w = run_message_rate(wheel_cfg, 256, 6, 8);
+    if (h.events != w.events || h.virtual_end_ns != w.virtual_end_ns) {
+      die_divergence("heap/wheel queues", h, w);
+    }
+    Config nobatch_cfg = wheel_cfg;
+    nobatch_cfg.batch = false;
+    Result nb = run_message_rate(nobatch_cfg, 256, 6, 8);
+    if (nb.virtual_end_ns != w.virtual_end_ns) {
+      die_divergence("batching (virtual time)", nb, w);
+    }
+    std::printf("cross-check OK: heap == wheel (%llu events), batching "
+                "preserves virtual time\n\n",
+                static_cast<unsigned long long>(h.events));
+  }
+
   return bench::report_and_run(argc, argv, "engine");
 }

@@ -12,6 +12,12 @@ cmake --build build -j
 
 scripts/check_sanitize.sh
 
+# Scale smoke: one 1K-PE barrier+message-rate round under a loose wall
+# budget. Catches catastrophic engine scale-out regressions (queue or stack
+# management falling over at high PE counts) without the cost of the full
+# 64->16K sweep.
+build/bench/bench_engine_overhead --scale-smoke
+
 # Bench smoke + perf gate: run every bench quickly (the tables are computed
 # once up front; the google-benchmark pass is skipped via a non-matching
 # filter), collect each bench's BENCH_<tag>.json, and compare the

@@ -10,13 +10,14 @@ namespace gdrshmem::core {
 
 Runtime::Runtime(const hw::ClusterConfig& cluster_cfg, const RuntimeOptions& opts)
     : opts_(opts),
-      engine_(opts.sim_backend),
+      engine_(opts.sim_backend, opts.sim_queue),
       cluster_(cluster_cfg),
       cuda_(engine_, cluster_),
       verbs_(engine_, cluster_, cuda_),
       injector_(opts.faults) {
   const int np = cluster_.num_pes();
 
+  engine_.set_batch_wakeups(opts_.sim_batch);
   if (opts_.trace) tracer_.enable();
   tracer_.set_capacity(opts_.trace_cap);
 
@@ -223,6 +224,12 @@ void Runtime::snapshot_metrics() {
   }
   metrics_.gauge("heap/host_used_bytes").set(host_used);
   metrics_.gauge("heap/gpu_used_bytes").set(gpu_used);
+  // Engine scale diagnostics: queue/slot-pool high-water marks reveal the
+  // peak burst size (O(PE count) on a barrier release); retained_bytes
+  // should return to near zero after release-on-quiescence.
+  metrics_.gauge("engine/queue_hwm").set(engine_.queue_size_hwm());
+  metrics_.gauge("engine/slot_pool_hwm").set(engine_.slot_pool_hwm());
+  metrics_.gauge("engine/retained_bytes").set(engine_.retained_bytes());
   metrics_.counter("trace/recorded").set(tracer_.size());
   metrics_.counter("trace/dropped").set(tracer_.dropped());
 }

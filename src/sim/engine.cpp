@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 #include <sstream>
@@ -26,6 +27,17 @@ const char* to_string(BackendKind k) {
 
 std::unique_ptr<ExecutionBackend> make_backend(BackendKind k) {
   return k == BackendKind::kFibers ? make_fiber_backend() : make_thread_backend();
+}
+
+bool batch_from_env() {
+  const char* v = std::getenv("GDRSHMEM_SIM_BATCH");
+  if (v == nullptr || *v == '\0') return true;
+  std::string s(v);
+  if (s == "1" || s == "on" || s == "true") return true;
+  if (s == "0" || s == "off" || s == "false") return false;
+  throw std::invalid_argument(
+      "GDRSHMEM_SIM_BATCH must be one of 0/1/on/off/true/false, got '" + s +
+      "'");
 }
 
 // ---------------------------------------------------------------------------
@@ -66,13 +78,32 @@ void Notification::notify() {
   if (waiters_.empty()) return;
   std::vector<Process*> woken;
   woken.swap(waiters_);
+  Engine& eng = woken.front()->engine();
+  if (eng.batch_wakeups_) {
+    // One queue event resumes the whole cohort in registration order. The
+    // unbatched path gives the K wakeup events consecutive sequence numbers,
+    // so nothing can interleave between them anyway (anything scheduled by a
+    // resumed process sorts after the last wakeup) — resuming back-to-back
+    // from a single event is trace-order identical and turns a 16K-PE
+    // barrier release into one queue operation instead of 16K.
+    for (Process* p : woken) {
+      if (p->state_ == Process::State::kDone) continue;
+      p->state_ = Process::State::kReady;
+    }
+    eng.schedule_at(eng.now(), [&eng, woken = std::move(woken)] {
+      // run_process skips processes that reached kDone (e.g. killed by fault
+      // injection) between the notify and this event executing.
+      for (Process* p : woken) eng.run_process(*p);
+    });
+    return;
+  }
   for (Process* p : woken) {
     // A process killed while blocked here has already been unwound; its
     // execution context is gone and must never be rescheduled. Process::await
     // deregisters on unwind, so this is a backstop against stale pointers.
     if (p->state_ == Process::State::kDone) continue;
-    Engine& eng = p->engine();
-    eng.schedule_at(eng.now(), [&eng, p] { eng.run_process(*p); });
+    Engine& e = p->engine();
+    e.schedule_at(e.now(), [&e, p] { e.run_process(*p); });
     p->state_ = Process::State::kReady;
   }
 }
@@ -124,7 +155,8 @@ void Process::await(Notification& n) {
 // ---------------------------------------------------------------------------
 // Engine
 
-Engine::Engine(BackendKind backend) : backend_(make_backend(backend)) {}
+Engine::Engine(BackendKind backend, QueueKind queue)
+    : backend_(make_backend(backend)), queue_(queue) {}
 
 Engine::~Engine() {
   shutdown_daemons();
@@ -134,36 +166,6 @@ Engine::~Engine() {
   for (auto& p : processes_) {
     if (p->state_ != Process::State::kDone) kill_process(*p);
   }
-}
-
-void Engine::heap_push(HeapEntry e) {
-  heap_.push_back(e);
-  std::size_t i = heap_.size() - 1;
-  while (i > 0) {
-    std::size_t parent = (i - 1) / 2;
-    if (!sooner(heap_[i], heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
-  }
-}
-
-Engine::HeapEntry Engine::heap_pop() {
-  assert(!heap_.empty());
-  HeapEntry top = heap_.front();
-  heap_.front() = heap_.back();
-  heap_.pop_back();
-  const std::size_t n = heap_.size();
-  std::size_t i = 0;
-  while (true) {
-    std::size_t l = 2 * i + 1;
-    std::size_t m = i;
-    if (l < n && sooner(heap_[l], heap_[m])) m = l;
-    if (l + 1 < n && sooner(heap_[l + 1], heap_[m])) m = l + 1;
-    if (m == i) break;
-    std::swap(heap_[i], heap_[m]);
-    i = m;
-  }
-  return top;
 }
 
 void Engine::schedule_at(Time at, EventFn fn) {
@@ -176,8 +178,26 @@ void Engine::schedule_at(Time at, EventFn fn) {
   } else {
     slot = static_cast<std::uint32_t>(slots_.size());
     slots_.push_back(std::move(fn));
+    slot_pool_hwm_ = std::max(slot_pool_hwm_, slots_.size());
   }
-  heap_push(HeapEntry{at, next_seq_++, slot});
+  queue_.push(EventQueue::Entry{at, next_seq_++, slot});
+}
+
+std::size_t Engine::retained_bytes() const {
+  return queue_.retained_bytes() + slots_.capacity() * sizeof(EventFn) +
+         free_slots_.capacity() * sizeof(std::uint32_t);
+}
+
+void Engine::release_retained_memory() {
+  queue_.release_retained();
+  if (queue_.empty()) {
+    // Every slot is free: the indices parked in free_slots_ are all dead, so
+    // both vectors can be emptied rather than merely shrunk.
+    slots_.clear();
+    free_slots_.clear();
+  }
+  slots_.shrink_to_fit();
+  free_slots_.shrink_to_fit();
 }
 
 Process& Engine::spawn(std::string name, std::function<void(Process&)> body,
@@ -210,8 +230,8 @@ void Engine::kill_process(Process& p) {
 void Engine::run() {
   if (running_) throw std::logic_error("Engine::run is not reentrant");
   running_ = true;
-  while (!heap_.empty()) {
-    HeapEntry e = heap_pop();
+  while (!queue_.empty()) {
+    EventQueue::Entry e = queue_.pop();
     EventFn fn = std::move(slots_[e.slot]);
     free_slots_.push_back(e.slot);
     now_ = e.at;
@@ -219,6 +239,11 @@ void Engine::run() {
     fn();
   }
   running_ = false;
+  // Release-on-quiescence: a burst (e.g. a full-cluster barrier release)
+  // grows the queue and slot pool to O(PE-count); without this the capacity
+  // would be retained for the engine's lifetime. HWMs stay observable via
+  // queue_size_hwm()/slot_pool_hwm().
+  release_retained_memory();
 
   if (first_error_) {
     // A process failed; release everything still blocked, then rethrow.

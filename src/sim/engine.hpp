@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "sim/callback.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/exec_backend.hpp"
 #include "sim/time.hpp"
 
@@ -117,17 +118,31 @@ class Process {
   void* user_slot_ = nullptr;
 };
 
-/// The event loop. Owns all processes, the pending-event heap, and the
+/// Wakeup batching chosen by GDRSHMEM_SIM_BATCH (0/1, on/off, true/false);
+/// on when unset. Unknown values throw std::invalid_argument.
+bool batch_from_env();
+
+/// The event loop. Owns all processes, the pending-event queue, and the
 /// execution backend.
 class Engine {
  public:
-  explicit Engine(BackendKind backend = backend_from_env());
+  explicit Engine(BackendKind backend = backend_from_env(),
+                  QueueKind queue = queue_from_env());
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
   ~Engine();
 
   Time now() const { return now_; }
   BackendKind backend_kind() const { return backend_->kind(); }
+  QueueKind queue_kind() const { return queue_.kind(); }
+
+  /// When true (default), Notification::notify schedules one queue event
+  /// that resumes the whole woken cohort in registration order, instead of
+  /// one event per waiter — a 16K-PE barrier release costs one queue
+  /// operation rather than 16K. Virtual times and process execution order
+  /// are unchanged; only events_executed() differs. Toggle for A/B runs.
+  bool batch_wakeups() const { return batch_wakeups_; }
+  void set_batch_wakeups(bool b) { batch_wakeups_ = b; }
 
   /// Schedule `fn` to run in engine context at absolute time `at`
   /// (must be >= now()). Events at equal times run in scheduling order.
@@ -159,29 +174,33 @@ class Engine {
   /// Number of events executed so far (diagnostic).
   std::uint64_t events_executed() const { return events_executed_; }
 
+  // ---- retained-capacity bookkeeping ------------------------------------
+  // Exported as core::Metrics gauges by Runtime::snapshot_metrics. The
+  // high-water marks are sticky: they survive release_retained_memory().
+
+  /// Largest number of simultaneously pending events ever observed.
+  std::size_t queue_size_hwm() const { return queue_.size_hwm(); }
+  /// Largest callback-slot pool ever grown to.
+  std::size_t slot_pool_hwm() const { return slot_pool_hwm_; }
+  /// Bytes currently retained by the event queue and slot pool (capacity).
+  std::size_t retained_bytes() const;
+  /// Shrink queue and slot-pool storage to fit the current contents. Called
+  /// automatically when run() drains the queue (release-on-quiescence);
+  /// safe to call at any time.
+  void release_retained_memory();
+
  private:
   friend class Process;
   friend class Notification;
   friend class ExecutionBackend;
 
   // Pending events live in a slot pool (`slots_` + `free_slots_`) so the
-  // callback storage is recycled instead of reallocated, and the ordering
-  // heap holds only lightweight {time, seq, slot} entries. The heap is an
-  // explicit binary min-heap over a vector: unlike std::priority_queue it
-  // allows extracting the top element by move (no const_cast), and its
-  // entries are 24 bytes so sift operations stay cache-friendly. Order is
-  // the strict total order (at, seq) — heap layout can never affect pop
-  // order, which keeps runs bit-identical across backends.
-  struct HeapEntry {
-    Time at;
-    std::uint64_t seq;
-    std::uint32_t slot;
-  };
-  static bool sooner(const HeapEntry& a, const HeapEntry& b) {
-    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
-  }
-  void heap_push(HeapEntry e);
-  HeapEntry heap_pop();
+  // callback storage is recycled instead of reallocated; the ordering
+  // structure (EventQueue: timing wheel by default, binary heap for A/B and
+  // differential testing) holds only lightweight {time, seq, slot} entries.
+  // Order is the strict total order (at, seq) — queue layout can never
+  // affect pop order, which keeps runs bit-identical across backends *and*
+  // across queue kinds.
 
   // Runs `p` (engine context) until it yields back; the engine context is
   // suspended meanwhile.
@@ -193,7 +212,9 @@ class Engine {
   std::exception_ptr first_error_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_executed_ = 0;
-  std::vector<HeapEntry> heap_;
+  EventQueue queue_;
+  bool batch_wakeups_ = batch_from_env();
+  std::size_t slot_pool_hwm_ = 0;
   std::vector<EventFn> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<std::unique_ptr<Process>> processes_;

@@ -31,6 +31,25 @@ BackendKind backend_from_env();
 
 const char* to_string(BackendKind k);
 
+/// How the fiber backend swaps contexts:
+///   * fast     — a ~20-instruction register swap (callee-saved GPRs, mxcsr,
+///                x87 control word). No syscall. x86-64 only; on other
+///                architectures it silently degrades to ucontext.
+///   * ucontext — swapcontext(3). Portable, but glibc performs an
+///                rt_sigprocmask syscall per swap, which dominates handoff
+///                cost (~1 us each) at 4K-16K PEs. Kept as the reference and
+///                as the A/B baseline for bench_engine_overhead.
+/// Both modes transfer control at the same points, so results are
+/// bit-identical. Selected by GDRSHMEM_SIM_FIBER_SWITCH; fast when unset.
+enum class FiberSwitch { kFast, kUcontext };
+
+/// Mode chosen by GDRSHMEM_SIM_FIBER_SWITCH ("fast" | "ucontext"); fast when
+/// unset. Unknown values throw std::invalid_argument. Read at FiberBackend
+/// construction (i.e. per Engine), not cached per process.
+FiberSwitch fiber_switch_from_env();
+
+const char* to_string(FiberSwitch m);
+
 /// Per-process execution state (a fiber stack + context, or an OS thread +
 /// condvar). Owned by the Process; destroyed only once the process is done.
 class ProcessExec {

@@ -1,0 +1,157 @@
+#include "sim/stack_pool.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define GDRSHMEM_ASAN_STACKS 1
+#endif
+#elif defined(__SANITIZE_ADDRESS__)
+#define GDRSHMEM_ASAN_STACKS 1
+#endif
+
+#ifdef GDRSHMEM_ASAN_STACKS
+#include <sanitizer/asan_interface.h>
+#endif
+
+namespace gdrshmem::sim {
+namespace {
+
+std::size_t pool_capacity_from_env() {
+  constexpr std::size_t kDefault = 16384;
+  const char* v = std::getenv("GDRSHMEM_SIM_STACK_POOL");
+  if (v == nullptr || *v == '\0') return kDefault;
+  char* end = nullptr;
+  const long n = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || n < 0) {
+    throw std::invalid_argument(
+        "GDRSHMEM_SIM_STACK_POOL must be a non-negative stack count, got '" +
+        std::string(v) + "'");
+  }
+  return static_cast<std::size_t>(n);
+}
+
+void unmap(const FiberStack& s) noexcept {
+  if (s.map_base != nullptr) ::munmap(s.map_base, s.map_len);
+}
+
+}  // namespace
+
+FiberStackPool::FiberStackPool() : capacity_(pool_capacity_from_env()) {}
+
+FiberStackPool& FiberStackPool::instance() {
+  static FiberStackPool pool;
+  return pool;
+}
+
+FiberStack FiberStackPool::acquire(std::size_t stack_bytes) {
+  const auto page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t stack = (stack_bytes + page - 1) / page * page;
+  const std::size_t map_len = stack + page;
+
+  {
+    std::lock_guard lk(mu_);
+    auto it = free_.find(map_len);
+    if (it != free_.end() && !it->second.empty()) {
+      FiberStack s = it->second.back();
+      it->second.pop_back();
+      --pooled_;
+      ++reused_;
+      return s;
+    }
+  }
+
+  FiberStack s;
+  s.map_len = map_len;
+  s.map_base = ::mmap(nullptr, s.map_len, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (s.map_base == MAP_FAILED) {
+    throw std::system_error(errno, std::generic_category(),
+                            "mmap fiber stack");
+  }
+  // Guard page at the low end: stacks grow down, so overflow faults instead
+  // of silently corrupting the neighbouring fiber's stack.
+  if (::mprotect(s.map_base, page, PROT_NONE) != 0) {
+    const int err = errno;
+    ::munmap(s.map_base, s.map_len);
+    throw std::system_error(err, std::generic_category(),
+                            "mprotect fiber guard page");
+  }
+  s.stack_lo = static_cast<char*>(s.map_base) + page;
+  s.stack_len = stack;
+  std::lock_guard lk(mu_);
+  ++mapped_;
+  return s;
+}
+
+void FiberStackPool::release(const FiberStack& s) noexcept {
+  if (s.map_base == nullptr) return;
+#ifdef GDRSHMEM_ASAN_STACKS
+  // The dead fiber's shadow memory may still mark parts of the stack as
+  // poisoned; the next fiber reusing it would fault spuriously.
+  __asan_unpoison_memory_region(s.stack_lo, s.stack_len);
+#endif
+  {
+    std::lock_guard lk(mu_);
+    if (pooled_ < capacity_) {
+      free_[s.map_len].push_back(s);
+      ++pooled_;
+      return;
+    }
+  }
+  unmap(s);
+}
+
+void FiberStackPool::trim() noexcept {
+  std::lock_guard lk(mu_);
+  for (auto& [len, stacks] : free_) {
+    for (const FiberStack& s : stacks) unmap(s);
+    stacks.clear();
+  }
+  free_.clear();
+  pooled_ = 0;
+}
+
+void FiberStackPool::set_capacity(std::size_t max_pooled) {
+  std::vector<FiberStack> excess;
+  {
+    std::lock_guard lk(mu_);
+    capacity_ = max_pooled;
+    for (auto& [len, stacks] : free_) {
+      while (pooled_ > capacity_ && !stacks.empty()) {
+        excess.push_back(stacks.back());
+        stacks.pop_back();
+        --pooled_;
+      }
+    }
+  }
+  for (const FiberStack& s : excess) unmap(s);
+}
+
+std::size_t FiberStackPool::capacity() const {
+  std::lock_guard lk(mu_);
+  return capacity_;
+}
+
+std::uint64_t FiberStackPool::mapped() const {
+  std::lock_guard lk(mu_);
+  return mapped_;
+}
+
+std::uint64_t FiberStackPool::reused() const {
+  std::lock_guard lk(mu_);
+  return reused_;
+}
+
+std::size_t FiberStackPool::pooled() const {
+  std::lock_guard lk(mu_);
+  return pooled_;
+}
+
+}  // namespace gdrshmem::sim

@@ -192,8 +192,14 @@ TEST(FromEnv, ParsesAndValidatesKnownKeys) {
   ScopedEnv e5("GDRSHMEM_PIPELINE_CHUNK", "32K");
   ScopedEnv e6("GDRSHMEM_SIM_BACKEND", "threads");
   ScopedEnv e7("GDRSHMEM_FAULTS", "seed=5,wire_error_rate=1e-3,crash=1@250");
+  ScopedEnv e8("GDRSHMEM_SIM_QUEUE", "heap");
+  ScopedEnv e9("GDRSHMEM_SIM_BATCH", "off");
+  ScopedEnv e10("GDRSHMEM_SIM_STACK_POOL", "128");
+  ScopedEnv e11("GDRSHMEM_SIM_FIBER_SWITCH", "ucontext");
   RuntimeOptions opts = RuntimeOptions::from_env();
   EXPECT_EQ(opts.transport, TransportKind::kHostPipeline);
+  EXPECT_EQ(opts.sim_queue, sim::QueueKind::kHeap);
+  EXPECT_FALSE(opts.sim_batch);
   EXPECT_EQ(opts.host_heap_bytes, 4u << 20);
   EXPECT_EQ(opts.gpu_heap_bytes, 512u << 10);
   EXPECT_FALSE(opts.tuning.use_proxy);
@@ -230,6 +236,37 @@ TEST(FromEnv, BadValuesAreErrors) {
   }
   {
     ScopedEnv e("GDRSHMEM_SIM_BACKEND", "coroutines");
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    ScopedEnv e("GDRSHMEM_SIM_QUEUE", "skiplist");
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    ScopedEnv e("GDRSHMEM_SIM_BATCH", "maybe");
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    ScopedEnv e("GDRSHMEM_SIM_FIBER_SWITCH", "longjmp");
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    // Units are KiB per fiber; below the 64 KiB floor is an error, as is
+    // trailing garbage.
+    ScopedEnv e("GDRSHMEM_SIM_STACK_KB", "32");
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    ScopedEnv e("GDRSHMEM_SIM_STACK_KB", "256bogus");
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    // Units are pooled stacks (a count); negative or non-numeric is an error.
+    ScopedEnv e("GDRSHMEM_SIM_STACK_POOL", "-1");
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    ScopedEnv e("GDRSHMEM_SIM_STACK_POOL", "many");
     EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
   }
   {

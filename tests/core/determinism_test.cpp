@@ -42,10 +42,16 @@ struct RunResult {
 
 /// A mixed workload across 2 nodes x 2 PEs: GPU-domain ring puts (exercises
 /// the proxy/pipeline paths), host gets, remote atomics, and barriers.
-RunResult run_workload(sim::BackendKind backend) {
+/// `faults` optionally layers a seeded fault plan (wire errors, a proxy
+/// crash) on top, which exercises retransmits, replays and proxy restarts.
+RunResult run_workload(sim::BackendKind backend,
+                       sim::QueueKind queue = sim::queue_from_env(),
+                       const char* faults = nullptr) {
   RunResult out;
   RuntimeOptions opts = make_options(TransportKind::kEnhancedGdr);
   opts.sim_backend = backend;
+  opts.sim_queue = queue;
+  if (faults != nullptr) opts.faults = sim::FaultPlan::parse(faults);
   Runtime rt(make_cluster(2), opts);
   rt.tracer().enable();
 
@@ -111,6 +117,27 @@ TEST(RuntimeDeterminism, FibersMatchThreadsBitIdentically) {
   EXPECT_EQ(threads.final_values, fibers.final_values);
   EXPECT_EQ(threads.trace_csv, fibers.trace_csv);
   EXPECT_TRUE(threads.same_as(fibers));
+}
+
+TEST(RuntimeDeterminism, HeapAndWheelQueuesMatchOnFaultInjectedRun) {
+  // Cross-structure differential at full-runtime depth: a seeded
+  // fault-injected run (wire errors forcing retransmits/replays plus a proxy
+  // crash and restart) must produce the identical per-op trace, event count,
+  // and heap contents whether the engine orders events with the binary heap
+  // or the timing wheel — on both execution backends. Fault injection makes
+  // the event stream as adversarial as this runtime can produce: failures
+  // reschedule work at scattered future times while barriers keep producing
+  // same-instant bursts.
+  constexpr const char* kFaults = "seed=11,wire_error_rate=8e-3,crash=1@300";
+  for (sim::BackendKind kind :
+       {sim::BackendKind::kThreads, sim::BackendKind::kFibers}) {
+    RunResult heap = run_workload(kind, sim::QueueKind::kHeap, kFaults);
+    RunResult wheel = run_workload(kind, sim::QueueKind::kWheel, kFaults);
+    EXPECT_EQ(heap.trace_csv, wheel.trace_csv)
+        << "queue divergence on backend " << sim::to_string(kind);
+    EXPECT_TRUE(heap.same_as(wheel))
+        << "queue divergence on backend " << sim::to_string(kind);
+  }
 }
 
 TEST(RuntimeDeterminism, ServiceThreadConfigMatchesAcrossBackends) {

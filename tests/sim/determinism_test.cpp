@@ -30,9 +30,10 @@ struct RunTrace {
 /// A deliberately messy workload: a token ring over mailboxes, a broadcast
 /// notification that releases all PEs mid-run, a child process spawned from
 /// a running process, and a daemon that ticks forever in the background.
-RunTrace run_workload(BackendKind kind, int pes, int rounds) {
+RunTrace run_workload(BackendKind kind, int pes, int rounds,
+                      QueueKind queue = queue_from_env()) {
   RunTrace out;
-  Engine eng(kind);
+  Engine eng(kind, queue);
   std::vector<Mailbox<int>> ring(static_cast<std::size_t>(pes));
   Notification phase2;
   int phase1_done = 0;
@@ -112,6 +113,84 @@ TEST(Determinism, CrossBackendAtScale) {
   RunTrace fibers = run_workload(BackendKind::kFibers, 32, 12);
   ASSERT_EQ(threads.log.size(), fibers.log.size());
   EXPECT_EQ(threads, fibers);
+}
+
+TEST(Determinism, HeapAndWheelQueuesProduceIdenticalTraces) {
+  // The pending-event queue is swappable under the (at, seq) total order:
+  // the timing wheel and the reference binary heap must be bit-identical —
+  // on both execution backends.
+  for (BackendKind kind : {BackendKind::kThreads, BackendKind::kFibers}) {
+    RunTrace heap = run_workload(kind, 16, 8, QueueKind::kHeap);
+    RunTrace wheel = run_workload(kind, 16, 8, QueueKind::kWheel);
+    EXPECT_EQ(heap, wheel) << "queue divergence on backend " << to_string(kind);
+  }
+}
+
+TEST(Determinism, AllFourQueueBackendCombinationsAgree) {
+  const RunTrace ref =
+      run_workload(BackendKind::kFibers, 12, 6, QueueKind::kHeap);
+  for (BackendKind kind : {BackendKind::kThreads, BackendKind::kFibers}) {
+    for (QueueKind queue : {QueueKind::kHeap, QueueKind::kWheel}) {
+      RunTrace t = run_workload(kind, 12, 6, queue);
+      EXPECT_EQ(ref, t) << to_string(kind) << "/" << to_string(queue);
+    }
+  }
+}
+
+TEST(Determinism, FastAndUcontextFiberSwitchesProduceIdenticalTraces) {
+  // The fiber backend's context-switch mechanism (raw register swap vs
+  // swapcontext) changes only wall-clock cost; control transfers at the same
+  // points, so the trace must be bit-identical. The mode is read per Engine
+  // construction, so flipping the env between runs is enough.
+  auto run_with_switch = [](const char* mode) {
+    ::setenv("GDRSHMEM_SIM_FIBER_SWITCH", mode, 1);
+    RunTrace t = run_workload(BackendKind::kFibers, 16, 8);
+    ::unsetenv("GDRSHMEM_SIM_FIBER_SWITCH");
+    return t;
+  };
+  RunTrace fast = run_with_switch("fast");
+  RunTrace uctx = run_with_switch("ucontext");
+  EXPECT_EQ(fast, uctx);
+  // And against the thread backend, which has no fiber switch at all.
+  RunTrace threads = run_workload(BackendKind::kThreads, 16, 8);
+  EXPECT_EQ(fast, threads);
+}
+
+TEST(Determinism, WakeupBatchingPreservesTraceOrder) {
+  // Batched notification fan-out coalesces K wakeup events into one; the
+  // observable trace and end time must not move (events_executed legally
+  // differs, so compare log + end_ns, not the whole struct).
+  auto run_batched = [](bool batch) {
+    RunTrace out;
+    Engine eng(BackendKind::kFibers);
+    eng.set_batch_wakeups(batch);
+    Notification gate;
+    int arrived = 0;
+    const int pes = 24;
+    for (int pe = 0; pe < pes; ++pe) {
+      eng.spawn("pe" + std::to_string(pe), [&, pe](Process& p) {
+        p.delay(Duration::ns(pe % 5));
+        if (++arrived == pes) {
+          gate.notify();
+        } else {
+          p.await(gate);
+        }
+        p.delay(Duration::ns(3 + pe));
+        out.log.push_back("pe" + std::to_string(pe) + "@" +
+                          std::to_string(eng.now().count_ns()));
+      });
+    }
+    eng.run();
+    out.events_executed = eng.events_executed();
+    out.end_ns = eng.now().count_ns();
+    return out;
+  };
+  RunTrace batched = run_batched(true);
+  RunTrace unbatched = run_batched(false);
+  EXPECT_EQ(unbatched.log, batched.log);
+  EXPECT_EQ(unbatched.end_ns, batched.end_ns);
+  EXPECT_LT(batched.events_executed, unbatched.events_executed)
+      << "batching should execute fewer queue events on a broadcast wakeup";
 }
 
 }  // namespace
