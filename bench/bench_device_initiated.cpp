@@ -1,0 +1,178 @@
+// Device-initiated communication: what keeping the kernel resident buys.
+//
+// Panel 1 — put+signal ping-pong between two GPUs on different nodes. The
+// host-driven variant must terminate a kernel, issue the put from the host,
+// and relaunch every round (the kernel-split pattern the paper's Section V
+// applications are forced into); the device-initiated variants issue the
+// same put+signal from inside one resident kernel through the GPU-IB
+// doorbell or the reverse-offload proxy ring.
+//
+// Panel 2 — Stencil2D (SHOC) with in-kernel halo exchange: one resident
+// kernel runs all iterations, replacing the 3-launch + 2-barrier iteration
+// structure of the host-driven version with put-with-signal pairs.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/stencil2d.hpp"
+#include "common.hpp"
+#include "core/ctx.hpp"
+#include "core/device_api.hpp"
+
+using namespace gdrshmem;
+
+namespace {
+
+constexpr int kRounds = 50;
+
+core::RuntimeOptions make_opts(core::DeviceBackendKind kind) {
+  core::RuntimeOptions opts;
+  opts.transport = core::TransportKind::kEnhancedGdr;
+  opts.gpu_heap_bytes = 64u << 20;
+  opts.host_heap_bytes = 4u << 20;
+  opts.device_backend = kind;
+  return opts;
+}
+
+/// Host-driven kernel-split ping-pong: each round ends the "kernel", puts
+/// from the host, and relaunches — paying launch + host software overhead
+/// per round.
+double pingpong_host(std::size_t size) {
+  hw::ClusterConfig cluster;
+  cluster.pes_per_node = 1;
+  cluster.num_nodes = 2;
+  auto opts = make_opts(core::DeviceBackendKind::kGpuIb);
+  double us = 0;
+  core::Runtime rt(cluster, opts);
+  rt.run([&](core::Ctx& ctx) {
+    const int me = ctx.my_pe();
+    const int peer = 1 - me;
+    auto* buf = static_cast<std::byte*>(ctx.shmalloc(size, core::Domain::kGpu));
+    auto* sig = static_cast<std::uint64_t*>(
+        ctx.shmalloc(sizeof(std::uint64_t), core::Domain::kGpu));
+    *sig = 0;
+    ctx.barrier_all();
+    sim::Time t0 = ctx.now();
+    for (int r = 0; r < kRounds; ++r) {
+      const auto tick = static_cast<std::uint64_t>(r) + 1;
+      if (me == 1) ctx.wait_until(sig, core::Cmp::kGe, tick);
+      // The compute the application would do on the payload, split out of
+      // the communication into its own launch.
+      ctx.launch_kernel(size / 8, 1.0, [] {});
+      ctx.putmem(buf, buf, size, peer);
+      ctx.putmem(sig, &tick, sizeof(tick), peer);
+      if (me == 0) ctx.wait_until(sig, core::Cmp::kGe, tick);
+    }
+    if (me == 0) us = (ctx.now() - t0).to_us() / kRounds;
+    ctx.barrier_all();
+  });
+  return us;
+}
+
+/// Device-initiated ping-pong: one resident kernel per PE runs every round.
+double pingpong_device(std::size_t size, core::DeviceBackendKind kind) {
+  hw::ClusterConfig cluster;
+  cluster.pes_per_node = 1;
+  cluster.num_nodes = 2;
+  auto opts = make_opts(kind);
+  double us = 0;
+  core::Runtime rt(cluster, opts);
+  rt.run([&](core::Ctx& ctx) {
+    const int me = ctx.my_pe();
+    const int peer = 1 - me;
+    auto* buf = static_cast<std::byte*>(ctx.shmalloc(size, core::Domain::kGpu));
+    auto* sig = static_cast<std::uint64_t*>(
+        ctx.shmalloc(sizeof(std::uint64_t), core::Domain::kGpu));
+    *sig = 0;
+    ctx.barrier_all();
+    sim::Time t0 = ctx.now();
+    ctx.launch_kernel_device(1.0, core::DeviceScope::kThread,
+                             [&](core::DeviceCtx& d) {
+      for (int r = 0; r < kRounds; ++r) {
+        const auto tick = static_cast<std::uint64_t>(r) + 1;
+        if (me == 1) d.signal_wait_until(sig, core::Cmp::kGe, tick);
+        d.compute(size / 8);
+        d.put_signal(buf, buf, size, sig, tick, peer);
+        if (me == 0) d.signal_wait_until(sig, core::Cmp::kGe, tick);
+      }
+      d.quiet();
+    });
+    if (me == 0) us = (ctx.now() - t0).to_us() / kRounds;
+    ctx.barrier_all();
+  });
+  return us;
+}
+
+void panel_pingpong() {
+  std::printf("== device-initiated: put+signal ping-pong, 2 GPUs / 2 nodes "
+              "(us per round, %d rounds) ==\n", kRounds);
+  std::printf("%-8s %-14s %-12s %-12s %s\n", "size", "host-driven", "gpu-ib",
+              "reverse", "best speedup");
+  for (std::size_t size : {std::size_t{8}, std::size_t{4} << 10,
+                           std::size_t{64} << 10, std::size_t{1} << 20}) {
+    double host = pingpong_host(size);
+    double gpuib = pingpong_device(size, core::DeviceBackendKind::kGpuIb);
+    double rev = pingpong_device(size, core::DeviceBackendKind::kReverseOffload);
+    double best = gpuib < rev ? gpuib : rev;
+    std::printf("%-8s %-14.2f %-12.2f %-12.2f %.2fx\n",
+                bench::size_label(size).c_str(), host, gpuib, rev, host / best);
+    std::string tag = "device_initiated/pingpong/" + bench::size_label(size);
+    bench::add_point(tag + "/host", host);
+    bench::add_point(tag + "/gpu-ib", gpuib);
+    bench::add_point(tag + "/reverse", rev);
+  }
+  std::printf("\n");
+}
+
+struct GridPick {
+  int gpus, px, py;
+};
+
+double stencil_once(std::size_t n, const GridPick& g,
+                    core::DeviceBackendKind kind, bool device) {
+  hw::ClusterConfig cluster;
+  cluster.pes_per_node = 2;
+  cluster.num_nodes = g.gpus / 2;
+  auto opts = make_opts(kind);
+  apps::Stencil2DConfig cfg;
+  cfg.nx = cfg.ny = n;
+  cfg.px = g.px;
+  cfg.py = g.py;
+  cfg.iterations = 100;
+  cfg.functional = false;  // cost-only kernels at this scale
+  cfg.per_cell_ns = 1.0;
+  auto res = device ? apps::run_stencil2d_device(cluster, opts, cfg)
+                    : apps::run_stencil2d(cluster, opts, cfg);
+  return res.exec_time_ms;
+}
+
+void panel_stencil() {
+  std::printf("== device-initiated: Stencil2D 1Kx1K, in-kernel halo exchange "
+              "(ms, 100 iterations) ==\n");
+  std::printf("%-8s %-14s %-12s %-12s %s\n", "GPUs", "host-driven", "gpu-ib",
+              "reverse", "gpu-ib speedup");
+  for (const GridPick& g : {GridPick{4, 2, 2}, GridPick{16, 4, 4}}) {
+    double host = stencil_once(1024, g, core::DeviceBackendKind::kGpuIb, false);
+    double gpuib = stencil_once(1024, g, core::DeviceBackendKind::kGpuIb, true);
+    double rev =
+        stencil_once(1024, g, core::DeviceBackendKind::kReverseOffload, true);
+    std::printf("%-8d %-14.2f %-12.2f %-12.2f %.2fx\n", g.gpus, host, gpuib,
+                rev, host / gpuib);
+    std::string tag =
+        "device_initiated/stencil2d/1024sq/gpus" + std::to_string(g.gpus);
+    bench::add_point(tag + "/host", host * 1000.0);
+    bench::add_point(tag + "/gpu-ib", gpuib * 1000.0);
+    bench::add_point(tag + "/reverse", rev * 1000.0);
+    bench::add_metric("stencil_gpuib_speedup_gpus" + std::to_string(g.gpus),
+                      host / gpuib);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  panel_pingpong();
+  panel_stencil();
+  return bench::report_and_run(argc, argv, "device_initiated");
+}

@@ -1,0 +1,236 @@
+// gdrshmem public host API: C-style OpenSHMEM 1.4 surface, bound to the
+// calling PE via a per-process context — so paper-style application code
+// ports almost verbatim:
+//
+//   gdrshmem::core::Runtime rt(cluster, opts);
+//   rt.run([](gdrshmem::core::Ctx& ctx) {
+//     capi::Bind bind(ctx);                      // once per PE body
+//     double* x = (double*)shmem_malloc(n, Domain::kGpu);
+//     shmem_putmem(x, src, n, (shmem_my_pe() + 1) % shmem_n_pes());
+//     shmem_quiet();
+//     shmem_barrier_all();
+//   });
+//
+// The primary surface uses the OpenSHMEM 1.4 names (shmem_malloc,
+// shmem_atomic_fetch_add, typed shmem_put/shmem_get overloads). The pre-1.4
+// classic names (shmalloc, shmem_longlong_fadd, ...) remain as deprecated
+// aliases; migrate as follows and define GDRSHMEM_NO_DEPRECATE to silence
+// the warnings meanwhile:
+//
+//   shmalloc(n, dom)          -> shmem_malloc(n, dom)
+//   shfree(p)                 -> shmem_free(p)
+//   shmem_double_put/get      -> shmem_put / shmem_get (typed overloads)
+//   shmem_float_put/get       -> shmem_put / shmem_get
+//   shmem_longlong_put/get    -> shmem_put / shmem_get
+//   shmem_longlong_fadd       -> shmem_atomic_fetch_add
+//   shmem_longlong_add        -> shmem_atomic_add
+//   shmem_longlong_finc       -> shmem_atomic_fetch_inc
+//   shmem_longlong_cswap      -> shmem_atomic_compare_swap
+//   shmem_longlong_swap       -> shmem_atomic_swap
+//   shmem_int_fadd            -> shmem_atomic_fetch_add (int overload)
+//   shmem_longlong_max_to_all -> shmem_long_max_to_all
+//
+// Every function forwards to the bound Ctx; calling without a bound context
+// throws ShmemError. The device-initiated (in-kernel) surface lives in
+// <gdrshmem/shmem_device.h>.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/types.hpp"
+#include "gdrshmem/version.h"
+
+namespace gdrshmem::core {
+class Ctx;
+class Team;
+}
+namespace gdrshmem::sim {
+class Process;
+}
+
+namespace gdrshmem::capi {
+
+/// RAII binder: installs `ctx` as the calling simulated process's current PE
+/// context (keyed on the Process, so it works under both the fiber and the
+/// thread execution backend).
+class Bind {
+ public:
+  explicit Bind(core::Ctx& ctx);
+  ~Bind();
+  Bind(const Bind&) = delete;
+  Bind& operator=(const Bind&) = delete;
+
+ private:
+  sim::Process* proc_;
+};
+
+/// The bound context (throws if none).
+core::Ctx& current();
+
+// ---- setup / query --------------------------------------------------------
+int shmem_my_pe();
+int shmem_n_pes();
+
+// ---- symmetric memory (OpenSHMEM 1.4, with the paper's Domain extension) --
+/// shmem_malloc(size): collective symmetric allocation on the host heap.
+/// The two-argument overload is this runtime's GPU extension — the paper's
+/// Domain-aware shmalloc under the modern name.
+void* shmem_malloc(std::size_t size);
+void* shmem_malloc(std::size_t size, core::Domain domain);
+/// Zero-initialized symmetric allocation (every PE's copy is zeroed).
+void* shmem_calloc(std::size_t count, std::size_t size,
+                   core::Domain domain = core::Domain::kHost);
+void shmem_free(void* p);
+void* shmem_ptr(const void* sym, int pe);
+
+/// Classic pre-1.2 names, kept as deprecated aliases.
+GDRSHMEM_DEPRECATED("use shmem_malloc(size, domain)")
+void* shmalloc(std::size_t bytes, core::Domain domain = core::Domain::kHost);
+GDRSHMEM_DEPRECATED("use shmem_free")
+void shfree(void* p);
+
+// ---- RMA --------------------------------------------------------------------
+void shmem_putmem(void* dst, const void* src, std::size_t n, int pe);
+void shmem_getmem(void* dst, const void* src, std::size_t n, int pe);
+void shmem_putmem_nbi(void* dst, const void* src, std::size_t n, int pe);
+void shmem_getmem_nbi(void* dst, const void* src, std::size_t n, int pe);
+
+/// Typed RMA, the C++ spelling of the 1.4 typed interface (shmem_double_put
+/// et al. become overloads of one name).
+void shmem_put(double* dst, const double* src, std::size_t nelems, int pe);
+void shmem_put(float* dst, const float* src, std::size_t nelems, int pe);
+void shmem_put(long long* dst, const long long* src, std::size_t nelems, int pe);
+void shmem_put(int* dst, const int* src, std::size_t nelems, int pe);
+void shmem_get(double* dst, const double* src, std::size_t nelems, int pe);
+void shmem_get(float* dst, const float* src, std::size_t nelems, int pe);
+void shmem_get(long long* dst, const long long* src, std::size_t nelems, int pe);
+void shmem_get(int* dst, const int* src, std::size_t nelems, int pe);
+void shmem_put_nbi(double* dst, const double* src, std::size_t nelems, int pe);
+void shmem_put_nbi(long long* dst, const long long* src, std::size_t nelems, int pe);
+void shmem_get_nbi(double* dst, const double* src, std::size_t nelems, int pe);
+void shmem_get_nbi(long long* dst, const long long* src, std::size_t nelems, int pe);
+
+/// Classic typed names, kept as deprecated aliases.
+GDRSHMEM_DEPRECATED("use the shmem_put typed overload")
+void shmem_double_put(double* dst, const double* src, std::size_t n, int pe);
+GDRSHMEM_DEPRECATED("use the shmem_get typed overload")
+void shmem_double_get(double* dst, const double* src, std::size_t n, int pe);
+GDRSHMEM_DEPRECATED("use the shmem_put typed overload")
+void shmem_float_put(float* dst, const float* src, std::size_t n, int pe);
+GDRSHMEM_DEPRECATED("use the shmem_get typed overload")
+void shmem_float_get(float* dst, const float* src, std::size_t n, int pe);
+GDRSHMEM_DEPRECATED("use the shmem_put typed overload")
+void shmem_longlong_put(long long* dst, const long long* src, std::size_t n, int pe);
+GDRSHMEM_DEPRECATED("use the shmem_get typed overload")
+void shmem_longlong_get(long long* dst, const long long* src, std::size_t n, int pe);
+
+// ---- ordering ----------------------------------------------------------------
+void shmem_quiet();
+void shmem_fence();
+
+// ---- synchronization ------------------------------------------------------------
+void shmem_barrier_all();
+void shmem_longlong_wait_until(const long long* sym, int cmp_op, long long value);
+// SHMEM_CMP_* constants.
+inline constexpr int SHMEM_CMP_EQ = 0;
+inline constexpr int SHMEM_CMP_NE = 1;
+inline constexpr int SHMEM_CMP_GT = 2;
+inline constexpr int SHMEM_CMP_GE = 3;
+inline constexpr int SHMEM_CMP_LT = 4;
+inline constexpr int SHMEM_CMP_LE = 5;
+
+// ---- atomics (OpenSHMEM 1.4 shmem_atomic_* names) --------------------------
+long long shmem_atomic_fetch_add(long long* sym, long long value, int pe);
+void shmem_atomic_add(long long* sym, long long value, int pe);
+long long shmem_atomic_fetch_inc(long long* sym, int pe);
+void shmem_atomic_inc(long long* sym, int pe);
+long long shmem_atomic_swap(long long* sym, long long value, int pe);
+long long shmem_atomic_compare_swap(long long* sym, long long cond,
+                                    long long value, int pe);
+long long shmem_atomic_fetch(const long long* sym, int pe);
+/// 32-bit overloads (masked CAS technique underneath, Section III-D).
+int shmem_atomic_fetch_add(int* sym, int value, int pe);
+int shmem_atomic_compare_swap(int* sym, int cond, int value, int pe);
+
+/// Classic pre-1.4 atomic names, kept as deprecated aliases.
+GDRSHMEM_DEPRECATED("use shmem_atomic_fetch_add")
+long long shmem_longlong_fadd(long long* sym, long long value, int pe);
+GDRSHMEM_DEPRECATED("use shmem_atomic_add")
+void shmem_longlong_add(long long* sym, long long value, int pe);
+GDRSHMEM_DEPRECATED("use shmem_atomic_fetch_inc")
+long long shmem_longlong_finc(long long* sym, int pe);
+GDRSHMEM_DEPRECATED("use shmem_atomic_compare_swap")
+long long shmem_longlong_cswap(long long* sym, long long cond, long long value, int pe);
+GDRSHMEM_DEPRECATED("use shmem_atomic_swap")
+long long shmem_longlong_swap(long long* sym, long long value, int pe);
+GDRSHMEM_DEPRECATED("use the shmem_atomic_fetch_add int overload")
+int shmem_int_fadd(int* sym, int value, int pe);
+
+// ---- teams (OpenSHMEM 1.5 shapes) ------------------------------------------
+/// A team handle is a pointer to the per-PE core::Team object; PEs outside a
+/// split's new team hold SHMEM_TEAM_INVALID.
+using shmem_team_t = core::Team*;
+inline constexpr shmem_team_t SHMEM_TEAM_INVALID = nullptr;
+
+shmem_team_t shmem_team_world();
+/// Collective over `parent`'s members. On success returns 0 with `*new_team`
+/// set (SHMEM_TEAM_INVALID on non-members); returns nonzero when `parent` is
+/// invalid. Bad triplets / slot exhaustion throw (identically on every
+/// member).
+int shmem_team_split_strided(shmem_team_t parent, int start, int stride,
+                             int size, shmem_team_t* new_team);
+/// -1 for SHMEM_TEAM_INVALID, per the spec.
+int shmem_team_my_pe(shmem_team_t team);
+int shmem_team_n_pes(shmem_team_t team);
+/// `src_pe` of `src_team` in `dst_team`'s numbering; -1 when not a member
+/// (or either handle is invalid).
+int shmem_team_translate_pe(shmem_team_t src_team, int src_pe,
+                            shmem_team_t dst_team);
+void shmem_team_destroy(shmem_team_t team);
+void shmem_team_sync(shmem_team_t team);
+
+// ---- collectives --------------------------------------------------------------------
+void shmem_broadcastmem(void* dst, const void* src, std::size_t n, int root);
+void shmem_broadcastmem(shmem_team_t team, void* dst, const void* src,
+                        std::size_t n, int root);
+void shmem_fcollectmem(void* dst, const void* src, std::size_t nbytes);
+void shmem_fcollectmem(shmem_team_t team, void* dst, const void* src,
+                       std::size_t nbytes);
+void shmem_alltoallmem(void* dst, const void* src, std::size_t nbytes);
+void shmem_alltoallmem(shmem_team_t team, void* dst, const void* src,
+                       std::size_t nbytes);
+
+/// OpenSHMEM 1.4 typed active-set reductions over all PEs (no pWrk/pSync:
+/// the runtime's internal sync pool replaces them).
+void shmem_int_sum_to_all(int* dst, const int* src, std::size_t nreduce);
+void shmem_int_min_to_all(int* dst, const int* src, std::size_t nreduce);
+void shmem_int_max_to_all(int* dst, const int* src, std::size_t nreduce);
+void shmem_long_sum_to_all(long long* dst, const long long* src, std::size_t nreduce);
+void shmem_long_min_to_all(long long* dst, const long long* src, std::size_t nreduce);
+void shmem_long_max_to_all(long long* dst, const long long* src, std::size_t nreduce);
+void shmem_float_sum_to_all(float* dst, const float* src, std::size_t nreduce);
+void shmem_float_min_to_all(float* dst, const float* src, std::size_t nreduce);
+void shmem_float_max_to_all(float* dst, const float* src, std::size_t nreduce);
+void shmem_double_sum_to_all(double* dst, const double* src, std::size_t nreduce);
+void shmem_double_min_to_all(double* dst, const double* src, std::size_t nreduce);
+void shmem_double_max_to_all(double* dst, const double* src, std::size_t nreduce);
+/// Classic alias kept as a deprecated spelling (long long variant).
+GDRSHMEM_DEPRECATED("use shmem_long_max_to_all")
+void shmem_longlong_max_to_all(long long* dst, const long long* src, std::size_t n);
+
+/// OpenSHMEM 1.5-style team reductions (shmem_int_sum_reduce, ...).
+void shmem_int_sum_reduce(shmem_team_t team, int* dst, const int* src, std::size_t n);
+void shmem_int_min_reduce(shmem_team_t team, int* dst, const int* src, std::size_t n);
+void shmem_int_max_reduce(shmem_team_t team, int* dst, const int* src, std::size_t n);
+void shmem_long_sum_reduce(shmem_team_t team, long long* dst, const long long* src, std::size_t n);
+void shmem_long_min_reduce(shmem_team_t team, long long* dst, const long long* src, std::size_t n);
+void shmem_long_max_reduce(shmem_team_t team, long long* dst, const long long* src, std::size_t n);
+void shmem_float_sum_reduce(shmem_team_t team, float* dst, const float* src, std::size_t n);
+void shmem_float_min_reduce(shmem_team_t team, float* dst, const float* src, std::size_t n);
+void shmem_float_max_reduce(shmem_team_t team, float* dst, const float* src, std::size_t n);
+void shmem_double_sum_reduce(shmem_team_t team, double* dst, const double* src, std::size_t n);
+void shmem_double_min_reduce(shmem_team_t team, double* dst, const double* src, std::size_t n);
+void shmem_double_max_reduce(shmem_team_t team, double* dst, const double* src, std::size_t n);
+
+}  // namespace gdrshmem::capi

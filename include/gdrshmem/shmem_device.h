@@ -1,0 +1,103 @@
+// gdrshmem device-initiated API: the shmemx_* surface a resident kernel
+// programs against (NVSHMEM-style, hence the x extension prefix). All calls
+// take an explicit shmemx_device_ctx_t handle — kernels are re-entrant and
+// many can be resident per PE, so there is no bound-context ambient state
+// like the host Bind.
+//
+//   ctx.launch_kernel_device(per_cell_ns, core::DeviceScope::kThread,
+//                            [&](core::DeviceCtx& d) {
+//     shmemx_device_ctx_t dctx = &d;
+//     for (int it = 0; it < iters; ++it) {
+//       shmemx_compute(dctx, cells);
+//       shmemx_putmem_signal(dctx, rbuf, sbuf, n, sig, it + 1, peer);
+//       shmemx_signal_wait_until(dctx, sig, SHMEMX_CMP_GE, it + 1);
+//     }
+//   });
+//
+// The backend behind the handle (GPU-IB doorbell vs reverse offload through
+// the proxy) is selected per Runtime via GDRSHMEM_DEVICE_BACKEND; application
+// results are bit-identical across backends per seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/device_api.hpp"
+#include "gdrshmem/version.h"
+
+namespace gdrshmem::capi {
+
+/// Handle to the per-kernel device context (valid for the kernel's lifetime).
+using shmemx_device_ctx_t = core::DeviceCtx*;
+
+/// Issue scopes: which threads cooperate on building one operation's WQE.
+inline constexpr core::DeviceScope SHMEMX_SCOPE_THREAD = core::DeviceScope::kThread;
+inline constexpr core::DeviceScope SHMEMX_SCOPE_WARP = core::DeviceScope::kWarp;
+inline constexpr core::DeviceScope SHMEMX_SCOPE_BLOCK = core::DeviceScope::kBlock;
+
+/// Comparison constants for the wait/signal-wait calls (match SHMEM_CMP_*).
+inline constexpr core::Cmp SHMEMX_CMP_EQ = core::Cmp::kEq;
+inline constexpr core::Cmp SHMEMX_CMP_NE = core::Cmp::kNe;
+inline constexpr core::Cmp SHMEMX_CMP_GT = core::Cmp::kGt;
+inline constexpr core::Cmp SHMEMX_CMP_GE = core::Cmp::kGe;
+inline constexpr core::Cmp SHMEMX_CMP_LT = core::Cmp::kLt;
+inline constexpr core::Cmp SHMEMX_CMP_LE = core::Cmp::kLe;
+
+/// Launch a resident kernel on `ctx`'s GPU whose body may issue device
+/// OpenSHMEM calls without terminating (the tentpole entry point). Charges
+/// the launch cost once; `body` then runs in kernel time, its compute charged
+/// at `per_cell_ns` per cell via shmemx_compute.
+void shmemx_launch_kernel(core::Ctx& ctx, double per_cell_ns,
+                          core::DeviceScope scope,
+                          const std::function<void(shmemx_device_ctx_t)>& body);
+
+// ---- identity --------------------------------------------------------------
+int shmemx_my_pe(shmemx_device_ctx_t dctx);
+int shmemx_n_pes(shmemx_device_ctx_t dctx);
+
+// ---- RMA -------------------------------------------------------------------
+void shmemx_putmem(shmemx_device_ctx_t dctx, void* dst_sym, const void* src,
+                   std::size_t n, int pe);
+void shmemx_getmem(shmemx_device_ctx_t dctx, void* dst, const void* src_sym,
+                   std::size_t n, int pe);
+void shmemx_putmem_nbi(shmemx_device_ctx_t dctx, void* dst_sym,
+                       const void* src, std::size_t n, int pe);
+void shmemx_getmem_nbi(shmemx_device_ctx_t dctx, void* dst,
+                       const void* src_sym, std::size_t n, int pe);
+
+/// Put-with-signal: `signal` lands at `sig_sym` only after the payload is
+/// remotely complete.
+void shmemx_putmem_signal(shmemx_device_ctx_t dctx, void* dst_sym,
+                          const void* src, std::size_t n,
+                          std::uint64_t* sig_sym, std::uint64_t signal,
+                          int pe);
+
+// ---- ordering / synchronization -------------------------------------------
+void shmemx_quiet(shmemx_device_ctx_t dctx);
+void shmemx_fence(shmemx_device_ctx_t dctx);
+void shmemx_signal_wait_until(shmemx_device_ctx_t dctx,
+                              const std::uint64_t* sig_sym, core::Cmp cmp,
+                              std::uint64_t value);
+void shmemx_longlong_wait_until(shmemx_device_ctx_t dctx,
+                                const long long* sym, core::Cmp cmp,
+                                long long value);
+
+// ---- atomics ---------------------------------------------------------------
+long long shmemx_atomic_fetch_add(shmemx_device_ctx_t dctx, long long* sym,
+                                  long long value, int pe);
+void shmemx_atomic_add(shmemx_device_ctx_t dctx, long long* sym,
+                       long long value, int pe);
+long long shmemx_atomic_compare_swap(shmemx_device_ctx_t dctx, long long* sym,
+                                     long long cond, long long value, int pe);
+
+// ---- shmem_ptr load/store ---------------------------------------------------
+/// Direct device pointer to `pe`'s copy of `sym`, or nullptr when the GPU
+/// cannot load/store it (different node, or GPU heap with P2P revoked).
+void* shmemx_ptr(shmemx_device_ctx_t dctx, const void* sym, int pe);
+
+// ---- device compute ---------------------------------------------------------
+/// Charge `cells` of kernel compute at the launch's per-cell rate.
+void shmemx_compute(shmemx_device_ctx_t dctx, std::size_t cells);
+
+}  // namespace gdrshmem::capi

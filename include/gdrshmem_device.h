@@ -1,0 +1,7 @@
+// Convenience alias for the device-initiated surface: applications include
+// <gdrshmem_device.h> (mirroring NVSHMEM's nvshmem.h/nvshmemx.h split) and
+// get the shmemx_* API plus the host surface it builds on.
+#pragma once
+
+#include "gdrshmem/shmem.h"
+#include "gdrshmem/shmem_device.h"

@@ -10,6 +10,16 @@ cmake -B build -S .
 cmake --build build -j
 (cd build && ctest --output-on-failure -j "$@")
 
+# Device-backend A/B: the device-initiated suites run under both engines.
+# Differential tests pin and compare backends internally; the env-driven
+# tests follow GDRSHMEM_DEVICE_BACKEND, so each pass exercises option
+# parsing end-to-end plus the selected engine as the process-wide default.
+for dev_backend in gpu-ib reverse; do
+  echo "== device-backend A/B: GDRSHMEM_DEVICE_BACKEND=$dev_backend =="
+  (cd build && GDRSHMEM_DEVICE_BACKEND=$dev_backend \
+     ctest --output-on-failure -R 'DeviceApi|Stencil2DDevice')
+done
+
 scripts/check_sanitize.sh
 
 # Scale smoke: one 1K-PE barrier+message-rate round under a loose wall

@@ -39,6 +39,21 @@ Stencil2DResult run_stencil2d(const hw::ClusterConfig& cluster,
                               const core::RuntimeOptions& opts,
                               const Stencil2DConfig& cfg);
 
+/// Device-initiated variant: ONE resident kernel per PE runs every
+/// iteration, exchanging halos with in-kernel put-with-signal through the
+/// runtime's device backend (GPU-IB or reverse offload) instead of
+/// terminating the kernel around each exchange — no kernel-split, no
+/// per-iteration barrier. Column halos are parity-buffered (two slots,
+/// alternating per iteration) and arrival is tracked by four monotonically
+/// increasing signal words, so iteration i+1's puts can never overwrite a
+/// halo iteration i has not consumed. Arithmetic order matches the
+/// host-driven variant exactly: functional runs produce bit-identical
+/// checksums on every backend.
+Stencil2DResult run_stencil2d_device(
+    const hw::ClusterConfig& cluster, const core::RuntimeOptions& opts,
+    const Stencil2DConfig& cfg,
+    core::DeviceScope scope = core::DeviceScope::kThread);
+
 /// Serial reference implementation (host), for validating functional runs.
 double stencil2d_reference_checksum(const Stencil2DConfig& cfg);
 

@@ -24,6 +24,7 @@ struct CtrlMsg {
     kProxyGet,       // enhanced: proxy, reverse-pipeline this device range
     kProxyPutReq,    // enhanced: proxy, I will stream into your staging
     kProxyPutFin,    // enhanced: streaming done, do the final H2D hop
+    kDeviceCmd,      // device-initiated: reverse-offload command descriptor
   };
 
   Kind kind{};

@@ -24,6 +24,8 @@
 
 namespace gdrshmem::core {
 
+class DeviceCtx;
+
 /// Comparison operators for wait_until (SHMEM_CMP_*).
 enum class Cmp { kEq, kNe, kGt, kGe, kLt, kLe };
 
@@ -277,6 +279,12 @@ class Ctx {
   /// Launch a GPU kernel over `cells` with the functional update `body`.
   void launch_kernel(std::size_t cells, double per_cell_ns,
                      const std::function<void()>& body);
+  /// Launch a *resident* kernel that issues OpenSHMEM operations from the
+  /// device through the DeviceCtx handle (the shmemx_* surface). The kernel
+  /// keeps running across communication — no kernel-split round trips. The
+  /// scope models which thread group cooperates on each operation's WQE.
+  void launch_kernel_device(double per_cell_ns, DeviceScope scope,
+                            const std::function<void(DeviceCtx&)>& body);
   /// Busy CPU compute (no progress — the Fig 10 overlap victim).
   void compute(sim::Duration d);
 
@@ -365,6 +373,10 @@ class Ctx {
 
  private:
   friend class Runtime;
+  /// The device-initiated surface mirrors this Ctx's accounting brackets
+  /// (op_kind_, make_op, finish_op) so host- and device-issued operations
+  /// land in the same stats, histograms, and traces.
+  friend class DeviceCtx;
 
   /// One tracked non-blocking operation. `repost` is null for ops issued on
   /// a healthy fabric (their completions can only fire successfully).

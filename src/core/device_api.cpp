@@ -1,0 +1,416 @@
+// Device-initiated OpenSHMEM backends (see device_api.hpp for the model).
+#include "core/device_api.hpp"
+
+#include "core/protocol_selector.hpp"
+#include "core/proxy.hpp"
+#include "core/transport_util.hpp"
+
+namespace gdrshmem::core {
+
+using sim::Duration;
+
+namespace {
+
+/// Warp/block-scope contexts amortize WQE assembly across the cooperating
+/// threads (one thread builds while the others run); the doorbell and the
+/// descriptor write stay a single MMIO transaction regardless of scope.
+double wqe_divisor(DeviceScope scope, const hw::SystemParams& p) {
+  switch (scope) {
+    case DeviceScope::kThread: return 1.0;
+    case DeviceScope::kWarp: return p.wqe_warp_divisor;
+    case DeviceScope::kBlock: return p.wqe_block_divisor;
+  }
+  return 1.0;
+}
+
+/// Resolve a symmetric 64-bit word for hardware atomics (same contract as
+/// the host atomic path in atomics.cpp).
+std::uint64_t* resolve_word(Runtime& rt, int owner_pe, int target_pe,
+                            const void* sym) {
+  Domain dom;
+  void* remote = rt.translate(sym, owner_pe, target_pe, sizeof(std::uint64_t), &dom);
+  if (reinterpret_cast<std::uintptr_t>(remote) % 8 != 0) {
+    throw ShmemError("atomic target must be 8-byte aligned");
+  }
+  return static_cast<std::uint64_t*>(remote);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DeviceBackend shared machinery (reverse ring + fault-hardened submission)
+
+void DeviceBackend::post_cmd(DeviceCtx& dctx,
+                             const std::shared_ptr<DeviceCmd>& cmd) {
+  // The descriptor lands in the host ring via one PCIe write the kernel has
+  // already been charged for; the proxy daemon polls the ring, so no network
+  // send is involved in the hand-off.
+  (void)dctx;
+  ProxyDaemon& proxy =
+      rt_.proxy(rt_.cluster().placement(cmd->requester).node);
+  CtrlMsg m;
+  m.kind = CtrlMsg::Kind::kDeviceCmd;
+  m.from = cmd->requester;
+  m.bytes = cmd->rma.bytes;
+  m.state = cmd;
+  proxy.mailbox().post(m);
+}
+
+void DeviceBackend::offload(DeviceCtx& dctx, std::shared_ptr<DeviceCmd> cmd) {
+  Ctx& ctx = dctx.host_ctx();
+  const int me = cmd->requester;
+  if (!rt_.tuning().use_proxy || !rt_.proxies_enabled()) {
+    throw ShmemError(
+        "device offload requires the per-node proxy daemon "
+        "(enhanced-gdr transport with tuning.use_proxy)");
+  }
+  // Bounded command ring: the kernel blocks on a free slot once
+  // device_queue_depth descriptors are outstanding.
+  auto& ring = inflight_[me];
+  const std::size_t depth = rt_.options().device_queue_depth;
+  auto reap = [&ring] {
+    while (!ring.empty() && ring.front()->done()) ring.pop_front();
+  };
+  reap();
+  if (ring.size() >= depth) {
+    ctx.wait_for([&] {
+      reap();
+      return ring.size() < depth;
+    });
+  }
+  if (!rt_.faults_enabled()) {
+    post_cmd(dctx, cmd);
+    ring.push_back(cmd->done);
+    if (cmd->rma.blocking) {
+      ctx.wait_for([&] { return cmd->done->done(); });
+    } else {
+      ctx.track(cmd->done);
+    }
+    return;
+  }
+  // Fault plan: the proxy may crash holding our descriptor. Each attempt
+  // uses fresh completion state (a restarted daemon can never complete a
+  // command we already gave up on) and a deadline scaled to the staged
+  // transfer size; timed-out attempts are reissued from scratch up to the
+  // budget. The op becomes effectively blocking — a legal strengthening of
+  // nbi. Puts and gets rewrite the same bytes on reissue (idempotent);
+  // atomics may double-apply if the proxy crashes after executing the RMW
+  // but before the completion notification — see DESIGN.md.
+  const Duration timeout = Duration::us(
+      rt_.tuning().proxy_timeout_us *
+      (2.0 + static_cast<double>(cmd->rma.bytes) /
+                 static_cast<double>(rt_.tuning().pipeline_chunk)));
+  int reissues = 0;
+  while (true) {
+    auto attempt = std::make_shared<DeviceCmd>(*cmd);
+    attempt->done = std::make_shared<sim::Completion>();
+    post_cmd(dctx, attempt);
+    if (ctx.wait_for_deadline([&] { return attempt->done->done(); },
+                              ctx.now() + timeout)) {
+      return;
+    }
+    if (++reissues > rt_.tuning().proxy_max_reissues) {
+      throw ShmemError("device offload: reissue budget exhausted");
+    }
+    rt_.faults().on_event(sim::FaultEvent::kProxyReissue, me);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GPU-IB backend
+
+class GpuIbBackend final : public DeviceBackend {
+ public:
+  using DeviceBackend::DeviceBackend;
+  std::string_view name() const override { return "gpu-ib"; }
+  DeviceBackendKind backend_kind() const override {
+    return DeviceBackendKind::kGpuIb;
+  }
+
+  void rma(DeviceCtx& dctx, const RmaOp& op, bool is_get) override {
+    Ctx& ctx = dctx.host_ctx();
+    const int me = ctx.my_pe();
+    const auto& p = rt_.cluster().params();
+    dctx.kernel().charge_us(p.gpu_wqe_build_us / wqe_divisor(dctx.scope(), p) +
+                            p.gpu_doorbell_us);
+    if (op.same_node) return intra_node(ctx, op, is_get, me);
+
+    const bool dev_leg = op.local_is_device || op.remote_domain == Domain::kGpu;
+    const bool blocked =
+        (op.local_is_device && !rt_.gdr_available(me)) ||
+        (op.remote_domain == Domain::kGpu && !rt_.gdr_available(op.target_pe));
+    if (blocked || rt_.selector().offload_staged(op, is_get, me)) {
+      // Either the HCA can no longer DMA a GPU leg (P2P revoked) or the
+      // message is too large for one direct GDR posting: hand the op to the
+      // host proxy, which runs the staged protocols on our behalf.
+      if (blocked) rt_.faults().on_event(sim::FaultEvent::kGdrFallback, me);
+      if (rt_.tuning().use_proxy && rt_.proxies_enabled()) {
+        auto cmd = std::make_shared<DeviceCmd>();
+        cmd->op = is_get ? DeviceCmd::Op::kGet : DeviceCmd::Op::kPut;
+        cmd->rma = op;
+        cmd->requester = me;
+        return offload(dctx, cmd);
+      }
+      if (blocked) {
+        throw ShmemError(
+            "gpu-ib: GPU leg unreachable (P2P revoked) and no proxy to fall "
+            "back to");
+      }
+      // Oversized but no proxy configured: a single direct posting still
+      // works, just at the degraded large-message GDR rate.
+    }
+    Protocol proto = dev_leg ? Protocol::kDirectGdr : Protocol::kDirectRdma;
+    if (is_get) {
+      detail::rdma_get(ctx, op, proto);
+    } else {
+      detail::rdma_put(ctx, op, proto);
+    }
+  }
+
+  std::int64_t amo_fetch_add(DeviceCtx& dctx, std::int64_t* sym,
+                             std::int64_t value, int pe) override {
+    return amo(dctx, sym, pe, /*is_cswap=*/false,
+               static_cast<std::uint64_t>(value), 0);
+  }
+
+  std::int64_t amo_compare_swap(DeviceCtx& dctx, std::int64_t* sym,
+                                std::int64_t cond, std::int64_t value,
+                                int pe) override {
+    return amo(dctx, sym, pe, /*is_cswap=*/true,
+               static_cast<std::uint64_t>(cond),
+               static_cast<std::uint64_t>(value));
+  }
+
+  void quiet(DeviceCtx& dctx) override { quiet_common(dctx); }
+
+ private:
+  /// Execute the selector's intra-node choice — the same paths a host call
+  /// would take, just issued (and the doorbell charged) from the kernel.
+  void intra_node(Ctx& ctx, const RmaOp& op, bool is_get, int me) {
+    PathChoice choice = is_get ? rt_.selector().select_get(op, me)
+                               : rt_.selector().select_put(op, me);
+    void* dst = is_get ? op.local : op.remote;
+    const void* src = is_get ? op.remote : op.local;
+    switch (choice) {
+      case PathChoice::kHostShm:
+        ctx.count_protocol(Protocol::kHostShm, op.bytes);
+        return detail::host_shm_copy(ctx, dst, src, op.bytes,
+                                     is_get ? -1 : op.target_pe);
+      case PathChoice::kLoopbackGdr:
+        if (is_get) return detail::rdma_get(ctx, op, Protocol::kLoopbackGdr);
+        return detail::rdma_put(ctx, op, Protocol::kLoopbackGdr);
+      case PathChoice::kIpcCopy:
+        return detail::peer_cuda_copy(ctx, dst, src, op.bytes, op.target_pe,
+                                      Protocol::kIpcCopy, true);
+      case PathChoice::kShmemPtrCopy:
+        return detail::peer_cuda_copy(ctx, dst, src, op.bytes, op.target_pe,
+                                      Protocol::kShmemPtrCopy, false);
+      default:
+        throw ShmemError("gpu-ib: unreachable intra-node path");
+    }
+  }
+
+  std::int64_t amo(DeviceCtx& dctx, std::int64_t* sym, int pe, bool is_cswap,
+                   std::uint64_t a, std::uint64_t b) {
+    Ctx& ctx = dctx.host_ctx();
+    const int me = ctx.my_pe();
+    const auto& p = rt_.cluster().params();
+    dctx.kernel().charge_us(p.gpu_wqe_build_us / wqe_divisor(dctx.scope(), p) +
+                            p.gpu_doorbell_us);
+    ctx.count_protocol(Protocol::kAtomicHw, 8);
+    std::uint64_t* word = resolve_word(rt_, me, pe, sym);
+    std::uint64_t old = 0;
+    auto post = [this, &ctx, me, pe, word, is_cswap, a, b, &old] {
+      if (is_cswap) {
+        return rt_.verbs().atomic_cswap64(ctx.proc(), me, pe, word, a, b, &old);
+      }
+      return rt_.verbs().atomic_fadd64(ctx.proc(), me, pe, word, a, &old);
+    };
+    auto comp = post();
+    if (rt_.faults_enabled()) {
+      // An error completion means the request was lost before the RMW
+      // executed (see atomics.cpp), so re-posting is exact.
+      ctx.await_reliable(ctx.proc(), std::move(comp), post);
+    } else {
+      comp->wait(ctx.proc());
+    }
+    return static_cast<std::int64_t>(old);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Reverse-offload backend
+
+class ReverseOffloadBackend final : public DeviceBackend {
+ public:
+  using DeviceBackend::DeviceBackend;
+  std::string_view name() const override { return "reverse"; }
+  DeviceBackendKind backend_kind() const override {
+    return DeviceBackendKind::kReverseOffload;
+  }
+
+  void rma(DeviceCtx& dctx, const RmaOp& op, bool is_get) override {
+    dctx.kernel().charge_us(rt_.cluster().params().device_cmd_write_us);
+    auto cmd = std::make_shared<DeviceCmd>();
+    cmd->op = is_get ? DeviceCmd::Op::kGet : DeviceCmd::Op::kPut;
+    cmd->rma = op;
+    cmd->requester = dctx.my_pe();
+    offload(dctx, cmd);
+  }
+
+  std::int64_t amo_fetch_add(DeviceCtx& dctx, std::int64_t* sym,
+                             std::int64_t value, int pe) override {
+    return amo(dctx, sym, pe, DeviceCmd::Op::kAmoFadd,
+               static_cast<std::uint64_t>(value), 0);
+  }
+
+  std::int64_t amo_compare_swap(DeviceCtx& dctx, std::int64_t* sym,
+                                std::int64_t cond, std::int64_t value,
+                                int pe) override {
+    return amo(dctx, sym, pe, DeviceCmd::Op::kAmoCswap,
+               static_cast<std::uint64_t>(cond),
+               static_cast<std::uint64_t>(value));
+  }
+
+  void quiet(DeviceCtx& dctx) override { quiet_common(dctx); }
+
+ private:
+  std::int64_t amo(DeviceCtx& dctx, std::int64_t* sym, int pe,
+                   DeviceCmd::Op op, std::uint64_t a, std::uint64_t b) {
+    dctx.kernel().charge_us(rt_.cluster().params().device_cmd_write_us);
+    auto cmd = std::make_shared<DeviceCmd>();
+    cmd->op = op;
+    cmd->requester = dctx.my_pe();
+    cmd->rma.target_pe = pe;
+    cmd->rma.bytes = sizeof(std::uint64_t);
+    cmd->rma.blocking = true;  // a fetch must return the prior value
+    cmd->amo_word = resolve_word(rt_, dctx.my_pe(), pe, sym);
+    cmd->amo_a = a;
+    cmd->amo_b = b;
+    cmd->amo_result = std::make_shared<std::uint64_t>(0);
+    offload(dctx, cmd);
+    return static_cast<std::int64_t>(*cmd->amo_result);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Shared quiet + factory
+
+void DeviceBackend::quiet_common(DeviceCtx& dctx) {
+  // The kernel polls its completion flags (CQ for gpu-ib, host-written ring
+  // status for reverse), then the host-visible pending set drains — which
+  // covers tracked nbi offload completions too.
+  dctx.kernel().charge_us(rt_.cluster().params().gpu_cq_poll_us);
+  dctx.host_ctx().quiet();
+  auto it = inflight_.find(dctx.my_pe());
+  if (it != inflight_.end()) {
+    auto& ring = it->second;
+    while (!ring.empty() && ring.front()->done()) ring.pop_front();
+  }
+}
+
+std::unique_ptr<DeviceBackend> make_device_backend(Runtime& rt,
+                                                   DeviceBackendKind kind) {
+  switch (kind) {
+    case DeviceBackendKind::kGpuIb:
+      return std::make_unique<GpuIbBackend>(rt);
+    case DeviceBackendKind::kReverseOffload:
+      return std::make_unique<ReverseOffloadBackend>(rt);
+  }
+  throw ShmemError("unknown device backend");
+}
+
+// ---------------------------------------------------------------------------
+// DeviceCtx
+
+void DeviceCtx::rma_entry(void* remote_sym, void* local, std::size_t n, int pe,
+                          bool is_get, bool blocking) {
+  if (n == 0) return;
+  Runtime& rt = ctx_.runtime();
+  const TraceEvent::Kind kind =
+      is_get ? TraceEvent::Kind::kGet : TraceEvent::Kind::kPut;
+  if (is_get) {
+    rt.stats().gets++;
+  } else {
+    rt.stats().puts++;
+  }
+  ctx_.op_kind_ = kind;
+  sim::Time t0 = ctx_.now();
+  // No host software overhead here — the device-side issue costs (WQE +
+  // doorbell, or descriptor write) are charged by the backend instead.
+  RmaOp op = ctx_.make_op(remote_sym, local, n, pe, blocking);
+  backend_.rma(*this, op, is_get);
+  if (blocking) ctx_.finish_op(kind, pe, n, t0);
+}
+
+void DeviceCtx::putmem(void* dst_sym, const void* src, std::size_t n, int pe) {
+  rma_entry(dst_sym, const_cast<void*>(src), n, pe, /*is_get=*/false,
+            /*blocking=*/true);
+}
+
+void DeviceCtx::putmem_nbi(void* dst_sym, const void* src, std::size_t n,
+                           int pe) {
+  rma_entry(dst_sym, const_cast<void*>(src), n, pe, /*is_get=*/false,
+            /*blocking=*/false);
+}
+
+void DeviceCtx::getmem(void* dst, const void* src_sym, std::size_t n, int pe) {
+  rma_entry(const_cast<void*>(src_sym), dst, n, pe, /*is_get=*/true,
+            /*blocking=*/true);
+}
+
+void DeviceCtx::getmem_nbi(void* dst, const void* src_sym, std::size_t n,
+                           int pe) {
+  rma_entry(const_cast<void*>(src_sym), dst, n, pe, /*is_get=*/true,
+            /*blocking=*/false);
+}
+
+std::int64_t DeviceCtx::atomic_fetch_add(std::int64_t* sym, std::int64_t value,
+                                         int pe) {
+  Runtime& rt = ctx_.runtime();
+  rt.stats().atomics++;
+  ctx_.op_kind_ = TraceEvent::Kind::kAtomic;
+  sim::Time t0 = ctx_.now();
+  std::int64_t old = backend_.amo_fetch_add(*this, sym, value, pe);
+  ctx_.finish_op(TraceEvent::Kind::kAtomic, pe, 8, t0);
+  return old;
+}
+
+std::int64_t DeviceCtx::atomic_compare_swap(std::int64_t* sym,
+                                            std::int64_t cond,
+                                            std::int64_t value, int pe) {
+  Runtime& rt = ctx_.runtime();
+  rt.stats().atomics++;
+  ctx_.op_kind_ = TraceEvent::Kind::kAtomic;
+  sim::Time t0 = ctx_.now();
+  std::int64_t old = backend_.amo_compare_swap(*this, sym, cond, value, pe);
+  ctx_.finish_op(TraceEvent::Kind::kAtomic, pe, 8, t0);
+  return old;
+}
+
+void* DeviceCtx::ptr(const void* sym, int pe) {
+  // Classic shmem_ptr: the peer's host heap, same node.
+  if (void* p = ctx_.shmem_ptr(sym, pe)) return p;
+  Runtime& rt = ctx_.runtime();
+  if (!rt.cluster().same_node(my_pe(), pe)) return nullptr;
+  Domain dom;
+  void* remote = rt.translate(sym, my_pe(), pe, 1, &dom);
+  if (dom != Domain::kGpu) return nullptr;
+  if (!rt.gdr_available(pe)) return nullptr;  // P2P revoked: no peer mapping
+  rt.map_peer_gpu_heap(ctx_.proc(), my_pe(), pe);
+  return remote;
+}
+
+// ---------------------------------------------------------------------------
+// Ctx entry point
+
+void Ctx::launch_kernel_device(double per_cell_ns, DeviceScope scope,
+                               const std::function<void(DeviceCtx&)>& body) {
+  rt_->cuda().launch_kernel_resident(
+      proc(), per_cell_ns, [&](cudart::KernelContext& kc) {
+        DeviceCtx dctx(*this, kc, scope);
+        body(dctx);
+      });
+}
+
+}  // namespace gdrshmem::core

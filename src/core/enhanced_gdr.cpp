@@ -11,42 +11,18 @@
 //
 // Thresholds are Tuning runtime parameters, shrunk when the HCA and GPU sit
 // on different sockets (Table III).
+#include "core/protocol_selector.hpp"
 #include "core/proxy.hpp"
 #include "core/transport_util.hpp"
 #include "core/transports.hpp"
 
 namespace gdrshmem::core {
 
-std::size_t EnhancedGdrTransport::gdr_limit(const RmaOp& op, bool is_get,
-                                            bool intra_node) const {
-  const Tuning& t = rt_.tuning();
-  const std::size_t wl =
-      intra_node ? t.loopback_gdr_write_limit : t.direct_gdr_write_limit;
-  const std::size_t rl =
-      intra_node ? t.loopback_gdr_read_limit : t.direct_gdr_read_limit;
-  auto adj = [&](int pe, std::size_t base) -> std::size_t {
-    if (!rt_.gdr_available(pe)) return 0;  // P2P revoked: no GDR on this leg
-    return rt_.gdr_inter_socket(pe) ? base / t.inter_socket_gdr_divisor : base;
-  };
-  std::size_t limit = SIZE_MAX;
-  // The PE id owning each GDR leg: the local leg belongs to the issuing PE
-  // (which we do not know here) — callers pass ops whose local leg is
-  // always on the issuing PE, and RmaOp keeps target_pe for the remote leg.
-  // For limits we only need socket placement, identical for all PEs sharing
-  // a GPU/HCA pair, so using target_pe for remote and (via callers) the
-  // issuing PE for local is exact.
-  if (!is_get) {
-    if (op.local_is_device) limit = std::min(limit, adj(issuer_, rl));
-    if (op.remote_domain == Domain::kGpu) limit = std::min(limit, adj(op.target_pe, wl));
-  } else {
-    if (op.remote_domain == Domain::kGpu) limit = std::min(limit, adj(op.target_pe, rl));
-    if (op.local_is_device) limit = std::min(limit, adj(issuer_, wl));
-  }
-  return limit;
-}
-
 // ---------------------------------------------------------------------------
 // dispatch
+//
+// Path selection lives in core::ProtocolSelector (shared with the
+// device-initiated backends); this transport only executes the choice.
 
 void EnhancedGdrTransport::note_gdr_fallback(const RmaOp& op) {
   if ((op.local_is_device && !rt_.gdr_available(issuer_)) ||
@@ -58,108 +34,79 @@ void EnhancedGdrTransport::note_gdr_fallback(const RmaOp& op) {
 void EnhancedGdrTransport::put(Ctx& ctx, const RmaOp& op) {
   issuer_ = ctx.my_pe();
   if (rt_.faults_enabled()) note_gdr_fallback(op);
-  if (op.same_node) return put_intra(ctx, op);
-  const bool src_dev = op.local_is_device;
-  const bool dst_dev = op.remote_domain == Domain::kGpu;
-  if (!src_dev && !dst_dev) return direct_put(ctx, op, Protocol::kDirectRdma);
-  if (op.bytes <= gdr_limit(op, /*is_get=*/false, /*intra=*/false)) {
-    return direct_put(ctx, op, Protocol::kDirectGdr);
+  switch (rt_.selector().select_put(op, issuer_)) {
+    case PathChoice::kHostShm:
+      ctx.count_protocol(Protocol::kHostShm, op.bytes);
+      return detail::host_shm_copy(ctx, op.remote, op.local, op.bytes,
+                                   op.target_pe);
+    case PathChoice::kLoopbackGdr:
+      return direct_put(ctx, op, Protocol::kLoopbackGdr);
+    case PathChoice::kIpcCopy:
+      // One IPC copy into the mapped destination (H-D / D-D large put).
+      return detail::peer_cuda_copy(ctx, op.remote, op.local, op.bytes,
+                                    op.target_pe, Protocol::kIpcCopy, true);
+    case PathChoice::kShmemPtrCopy:
+      // D-H large put: cudaMemcpy D->H straight into the peer's host heap —
+      // the shmem_ptr design of Fig 3. One copy, no target involvement.
+      return detail::peer_cuda_copy(ctx, op.remote, op.local, op.bytes,
+                                    op.target_pe, Protocol::kShmemPtrCopy,
+                                    false);
+    case PathChoice::kDirectRdma:
+      return direct_put(ctx, op, Protocol::kDirectRdma);
+    case PathChoice::kDirectGdr:
+      return direct_put(ctx, op, Protocol::kDirectGdr);
+    case PathChoice::kPipelineGdrWrite:
+      return pipeline_gdr_write(ctx, op);
+    case PathChoice::kStagedProxyPut: {
+      // Both ends bottlenecked (or the target's P2P was revoked): stage the
+      // whole message to host locally, let the target-side proxy do the last
+      // hop with an IPC copy.
+      std::byte* b = ctx.bounce(op.bytes);
+      rt_.cuda().memcpy_sync(ctx.proc(), b, op.local, op.bytes);
+      return proxy_put(ctx, op, b);
+    }
+    case PathChoice::kProxyPut:
+      return proxy_put(ctx, op, op.local);
+    default:
+      throw ShmemError("enhanced-gdr: unreachable put path");
   }
-  if (src_dev) return pipeline_gdr_write(ctx, op);
-  // Host source, device destination, large: GDR write is near wire speed
-  // intra-socket; inter-socket it collapses (1,179 MB/s) — and with P2P
-  // revoked on the target node it is unavailable outright. Stage via proxy
-  // (the proxy's final hop is a plain IPC H->D copy, no GDR needed).
-  if (dst_dev && (rt_.gdr_inter_socket(op.target_pe) ||
-                  !rt_.gdr_available(op.target_pe)) &&
-      rt_.tuning().use_proxy && rt_.proxies_enabled()) {
-    return proxy_put(ctx, op, op.local);
-  }
-  if (dst_dev && !rt_.gdr_available(op.target_pe)) {
-    throw ShmemError(
-        "enhanced-gdr: target GPU lost P2P and no proxy is available");
-  }
-  return direct_put(ctx, op, Protocol::kDirectGdr);
 }
 
 void EnhancedGdrTransport::get(Ctx& ctx, const RmaOp& op) {
   issuer_ = ctx.my_pe();
   if (rt_.faults_enabled()) note_gdr_fallback(op);
-  if (op.same_node) return get_intra(ctx, op);
-  const bool loc_dev = op.local_is_device;
-  const bool rem_dev = op.remote_domain == Domain::kGpu;
-  if (!loc_dev && !rem_dev) return direct_get(ctx, op, Protocol::kDirectRdma);
-  if (op.bytes <= gdr_limit(op, /*is_get=*/true, /*intra=*/false)) {
-    return direct_get(ctx, op, Protocol::kDirectGdr);
+  switch (rt_.selector().select_get(op, issuer_)) {
+    case PathChoice::kHostShm:
+      ctx.count_protocol(Protocol::kHostShm, op.bytes);
+      return detail::host_shm_copy(ctx, op.local, op.remote, op.bytes, -1);
+    case PathChoice::kLoopbackGdr:
+      return direct_get(ctx, op, Protocol::kLoopbackGdr);
+    case PathChoice::kIpcCopy:
+      // H-D / D-D large get: one IPC copy out of the mapped source. For H-D
+      // this single D->H copy is the 40% win over the baseline's staged path.
+      return detail::peer_cuda_copy(ctx, op.local, op.remote, op.bytes,
+                                    op.target_pe, Protocol::kIpcCopy, true);
+    case PathChoice::kShmemPtrCopy:
+      // D-H large get: H->D copy from the peer's host heap (shmem_ptr).
+      return detail::peer_cuda_copy(ctx, op.local, op.remote, op.bytes,
+                                    op.target_pe, Protocol::kShmemPtrCopy,
+                                    false);
+    case PathChoice::kDirectRdma:
+      return direct_get(ctx, op, Protocol::kDirectRdma);
+    case PathChoice::kDirectGdr:
+      return direct_get(ctx, op, Protocol::kDirectGdr);
+    case PathChoice::kProxyGet:
+      return proxy_get(ctx, op);
+    case PathChoice::kHostStagedGet:
+      return host_staged_get(ctx, op);
+    default:
+      throw ShmemError("enhanced-gdr: unreachable get path");
   }
-  if (rem_dev && rt_.tuning().use_proxy && rt_.proxies_enabled()) {
-    // Large read from remote GPU memory would bottleneck on the target's
-    // P2P read path: the remote proxy runs the reverse pipeline instead.
-    return proxy_get(ctx, op);
-  }
-  if (rem_dev && !rt_.gdr_available(op.target_pe)) {
-    throw ShmemError(
-        "enhanced-gdr: target GPU lost P2P and no proxy is available");
-  }
-  if (rem_dev) return direct_get(ctx, op, Protocol::kDirectGdr);
-  // Remote host, local device, large: RDMA-read + local staging when our
-  // own GDR write leg is inter-socket or our node's P2P was revoked;
-  // otherwise read straight into the GPU.
-  if (loc_dev && (rt_.gdr_inter_socket(ctx.my_pe()) ||
-                  !rt_.gdr_available(ctx.my_pe()))) {
-    return host_staged_get(ctx, op);
-  }
-  return direct_get(ctx, op, Protocol::kDirectGdr);
 }
 
 void EnhancedGdrTransport::handle_ctrl(Ctx&, CtrlMsg&, sim::Process&) {
   // The whole point of the design: no target-PE work, ever.
   throw ShmemError("enhanced-gdr transport sends no PE-level control messages");
-}
-
-// ---------------------------------------------------------------------------
-// intra-node (Figs 2 and 3)
-
-void EnhancedGdrTransport::put_intra(Ctx& ctx, const RmaOp& op) {
-  const bool src_dev = op.local_is_device;
-  const bool dst_dev = op.remote_domain == Domain::kGpu;
-  if (!src_dev && !dst_dev) {
-    ctx.count_protocol(Protocol::kHostShm, op.bytes);
-    return detail::host_shm_copy(ctx, op.remote, op.local, op.bytes, op.target_pe);
-  }
-  if (op.bytes <= gdr_limit(op, /*is_get=*/false, /*intra=*/true)) {
-    return direct_put(ctx, op, Protocol::kLoopbackGdr);
-  }
-  if (dst_dev) {
-    // One IPC copy into the mapped destination (H-D / D-D large put).
-    return detail::peer_cuda_copy(ctx, op.remote, op.local, op.bytes,
-                                  op.target_pe, Protocol::kIpcCopy, true);
-  }
-  // D-H large put: cudaMemcpy D->H straight into the peer's host heap — the
-  // shmem_ptr design of Fig 3. One copy, no target involvement.
-  detail::peer_cuda_copy(ctx, op.remote, op.local, op.bytes, op.target_pe,
-                         Protocol::kShmemPtrCopy, false);
-}
-
-void EnhancedGdrTransport::get_intra(Ctx& ctx, const RmaOp& op) {
-  const bool loc_dev = op.local_is_device;
-  const bool rem_dev = op.remote_domain == Domain::kGpu;
-  if (!loc_dev && !rem_dev) {
-    ctx.count_protocol(Protocol::kHostShm, op.bytes);
-    return detail::host_shm_copy(ctx, op.local, op.remote, op.bytes, -1);
-  }
-  if (op.bytes <= gdr_limit(op, /*is_get=*/true, /*intra=*/true)) {
-    return direct_get(ctx, op, Protocol::kLoopbackGdr);
-  }
-  if (rem_dev) {
-    // H-D / D-D large get: one IPC copy out of the mapped source. For H-D
-    // this single D->H copy is the 40% win over the baseline's staged path.
-    return detail::peer_cuda_copy(ctx, op.local, op.remote, op.bytes,
-                                  op.target_pe, Protocol::kIpcCopy, true);
-  }
-  // D-H large get: H->D copy from the peer's host heap (shmem_ptr design).
-  detail::peer_cuda_copy(ctx, op.local, op.remote, op.bytes, op.target_pe,
-                         Protocol::kShmemPtrCopy, false);
 }
 
 // ---------------------------------------------------------------------------
@@ -176,21 +123,8 @@ void EnhancedGdrTransport::direct_get(Ctx& ctx, const RmaOp& op, Protocol proto)
 void EnhancedGdrTransport::pipeline_gdr_write(Ctx& ctx, const RmaOp& op) {
   // Device source, large put. Avoid the P2P *read* bottleneck by IPC-copying
   // D->H into registered host staging, then RDMA (GDR-)writing each chunk.
-  if (op.remote_domain == Domain::kGpu &&
-      (rt_.gdr_inter_socket(op.target_pe) ||
-       !rt_.gdr_available(op.target_pe)) &&
-      rt_.tuning().use_proxy && rt_.proxies_enabled()) {
-    // Both ends bottlenecked (or the target's P2P was revoked): stage the
-    // whole message to host locally, let the target-side proxy do the last
-    // hop with an IPC copy.
-    std::byte* b = ctx.bounce(op.bytes);
-    rt_.cuda().memcpy_sync(ctx.proc(), b, op.local, op.bytes);
-    return proxy_put(ctx, op, b);
-  }
-  if (op.remote_domain == Domain::kGpu && !rt_.gdr_available(op.target_pe)) {
-    throw ShmemError(
-        "enhanced-gdr: target GPU lost P2P and no proxy is available");
-  }
+  // (GDR-poor targets never reach here: the selector diverts them to
+  // kStagedProxyPut or throws.)
   ctx.count_protocol(Protocol::kPipelineGdrWrite, op.bytes);
   const int me = ctx.my_pe();
   const bool faulty = rt_.faults_enabled();

@@ -244,6 +244,18 @@ RuntimeOptions RuntimeOptions::from_env() {
           opts.tuning.coll_force[static_cast<std::size_t>(kind)] = algo;
         }
       }
+    } else if (key == "GDRSHMEM_DEVICE_BACKEND") {
+      if (value == "gpu-ib") {
+        opts.device_backend = DeviceBackendKind::kGpuIb;
+      } else if (value == "reverse") {
+        opts.device_backend = DeviceBackendKind::kReverseOffload;
+      } else {
+        bad(key, "expected 'gpu-ib' or 'reverse', got \"" + value + "\"");
+      }
+    } else if (key == "GDRSHMEM_DEVICE_QUEUE_DEPTH") {
+      long long v = env_int(key, value);
+      if (v < 1) bad(key, "must be >= 1 (outstanding device commands)");
+      opts.device_queue_depth = static_cast<std::size_t>(v);
     } else if (key == "GDRSHMEM_FAULTS") {
       try {
         opts.faults = sim::FaultPlan::parse(value);
@@ -270,7 +282,8 @@ RuntimeOptions RuntimeOptions::from_env() {
           "LOOPBACK_GDR_READ_LIMIT, DIRECT_GDR_WRITE_LIMIT, "
           "DIRECT_GDR_READ_LIMIT, INTER_SOCKET_GDR_DIVISOR, COLL_ALGO, "
           "COLL_CHUNK, MAX_SW_REPLAYS, REPLAY_BACKOFF_US, PROXY_TIMEOUT_US, "
-          "PROXY_MAX_REISSUES, FAULTS, TRACE, TRACE_CAP)");
+          "PROXY_MAX_REISSUES, DEVICE_BACKEND, DEVICE_QUEUE_DEPTH, FAULTS, "
+          "TRACE, TRACE_CAP)");
     }
   }
   return opts;

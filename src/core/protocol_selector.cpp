@@ -1,0 +1,140 @@
+#include "core/protocol_selector.hpp"
+
+#include <algorithm>
+#include <climits>
+
+#include "core/runtime.hpp"
+
+namespace gdrshmem::core {
+
+const char* to_string(PathChoice c) {
+  switch (c) {
+    case PathChoice::kHostShm: return "host-shm";
+    case PathChoice::kLoopbackGdr: return "loopback-gdr";
+    case PathChoice::kIpcCopy: return "ipc-copy";
+    case PathChoice::kShmemPtrCopy: return "shmem-ptr-copy";
+    case PathChoice::kDirectRdma: return "direct-rdma";
+    case PathChoice::kDirectGdr: return "direct-gdr";
+    case PathChoice::kPipelineGdrWrite: return "pipeline-gdr-write";
+    case PathChoice::kHostStagedGet: return "host-staged-get";
+    case PathChoice::kProxyPut: return "proxy-put";
+    case PathChoice::kStagedProxyPut: return "staged-proxy-put";
+    case PathChoice::kProxyGet: return "proxy-get";
+  }
+  return "?";
+}
+
+bool ProtocolSelector::proxy_usable() const {
+  return rt_.tuning().use_proxy && rt_.proxies_enabled();
+}
+
+std::size_t ProtocolSelector::gdr_limit(const RmaOp& op, bool is_get,
+                                        bool intra_node, int issuer) const {
+  const Tuning& t = rt_.tuning();
+  const std::size_t wl =
+      intra_node ? t.loopback_gdr_write_limit : t.direct_gdr_write_limit;
+  const std::size_t rl =
+      intra_node ? t.loopback_gdr_read_limit : t.direct_gdr_read_limit;
+  auto adj = [&](int pe, std::size_t base) -> std::size_t {
+    if (!rt_.gdr_available(pe)) return 0;  // P2P revoked: no GDR on this leg
+    return rt_.gdr_inter_socket(pe) ? base / t.inter_socket_gdr_divisor : base;
+  };
+  std::size_t limit = SIZE_MAX;
+  // The local GDR leg belongs to the issuing PE, the remote leg to
+  // op.target_pe. For limits we only need socket placement, identical for
+  // all PEs sharing a GPU/HCA pair, so this is exact.
+  if (!is_get) {
+    if (op.local_is_device) limit = std::min(limit, adj(issuer, rl));
+    if (op.remote_domain == Domain::kGpu) {
+      limit = std::min(limit, adj(op.target_pe, wl));
+    }
+  } else {
+    if (op.remote_domain == Domain::kGpu) {
+      limit = std::min(limit, adj(op.target_pe, rl));
+    }
+    if (op.local_is_device) limit = std::min(limit, adj(issuer, wl));
+  }
+  return limit;
+}
+
+PathChoice ProtocolSelector::select_put(const RmaOp& op, int issuer) const {
+  const bool src_dev = op.local_is_device;
+  const bool dst_dev = op.remote_domain == Domain::kGpu;
+  if (op.same_node) {
+    if (!src_dev && !dst_dev) return PathChoice::kHostShm;
+    if (op.bytes <= gdr_limit(op, /*is_get=*/false, /*intra=*/true, issuer)) {
+      return PathChoice::kLoopbackGdr;
+    }
+    // One IPC copy into the mapped destination, or a cudaMemcpy straight
+    // into the peer's host heap (the shmem_ptr design, Fig 3).
+    return dst_dev ? PathChoice::kIpcCopy : PathChoice::kShmemPtrCopy;
+  }
+  if (!src_dev && !dst_dev) return PathChoice::kDirectRdma;
+  if (op.bytes <= gdr_limit(op, /*is_get=*/false, /*intra=*/false, issuer)) {
+    return PathChoice::kDirectGdr;
+  }
+  // GDR writes are near wire speed intra-socket; inter-socket they collapse
+  // (Table III), and with P2P revoked on the target node they are
+  // unavailable outright. Stage through the target-side proxy in both cases
+  // (its final hop is a plain IPC H->D copy, no GDR needed).
+  const bool target_gdr_poor =
+      dst_dev && (rt_.gdr_inter_socket(op.target_pe) ||
+                  !rt_.gdr_available(op.target_pe));
+  if (src_dev) {
+    if (target_gdr_poor && proxy_usable()) return PathChoice::kStagedProxyPut;
+    if (dst_dev && !rt_.gdr_available(op.target_pe)) {
+      throw ShmemError(
+          "enhanced-gdr: target GPU lost P2P and no proxy is available");
+    }
+    return PathChoice::kPipelineGdrWrite;
+  }
+  if (target_gdr_poor && proxy_usable()) return PathChoice::kProxyPut;
+  if (dst_dev && !rt_.gdr_available(op.target_pe)) {
+    throw ShmemError(
+        "enhanced-gdr: target GPU lost P2P and no proxy is available");
+  }
+  return PathChoice::kDirectGdr;
+}
+
+PathChoice ProtocolSelector::select_get(const RmaOp& op, int issuer) const {
+  const bool loc_dev = op.local_is_device;
+  const bool rem_dev = op.remote_domain == Domain::kGpu;
+  if (op.same_node) {
+    if (!loc_dev && !rem_dev) return PathChoice::kHostShm;
+    if (op.bytes <= gdr_limit(op, /*is_get=*/true, /*intra=*/true, issuer)) {
+      return PathChoice::kLoopbackGdr;
+    }
+    return rem_dev ? PathChoice::kIpcCopy : PathChoice::kShmemPtrCopy;
+  }
+  if (!loc_dev && !rem_dev) return PathChoice::kDirectRdma;
+  if (op.bytes <= gdr_limit(op, /*is_get=*/true, /*intra=*/false, issuer)) {
+    return PathChoice::kDirectGdr;
+  }
+  if (rem_dev && proxy_usable()) {
+    // Large read from remote GPU memory would bottleneck on the target's
+    // P2P read path: the remote proxy runs the reverse pipeline instead.
+    return PathChoice::kProxyGet;
+  }
+  if (rem_dev && !rt_.gdr_available(op.target_pe)) {
+    throw ShmemError(
+        "enhanced-gdr: target GPU lost P2P and no proxy is available");
+  }
+  if (rem_dev) return PathChoice::kDirectGdr;
+  // Remote host, local device, large: RDMA-read + local staging when our
+  // own GDR write leg is inter-socket or our node's P2P was revoked;
+  // otherwise read straight into the GPU.
+  if (loc_dev &&
+      (rt_.gdr_inter_socket(issuer) || !rt_.gdr_available(issuer))) {
+    return PathChoice::kHostStagedGet;
+  }
+  return PathChoice::kDirectGdr;
+}
+
+bool ProtocolSelector::offload_staged(const RmaOp& op, bool is_get,
+                                      int issuer) const {
+  if (op.same_node) return false;
+  if (!op.local_is_device && op.remote_domain != Domain::kGpu) return false;
+  return op.bytes > gdr_limit(op, is_get, /*intra_node=*/false, issuer);
+}
+
+}  // namespace gdrshmem::core

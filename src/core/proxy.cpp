@@ -1,6 +1,8 @@
 #include "core/proxy.hpp"
 
 #include "core/ctx.hpp"
+#include "core/device_api.hpp"
+#include "core/protocol_selector.hpp"
 #include "core/runtime.hpp"
 
 namespace gdrshmem::core {
@@ -76,6 +78,9 @@ void ProxyDaemon::serve(sim::Process& self) {
         break;
       case CtrlMsg::Kind::kProxyPutReq:
         do_put(self, msg);
+        break;
+      case CtrlMsg::Kind::kDeviceCmd:
+        do_device_cmd(self, msg);
         break;
       case CtrlMsg::Kind::kProxyPutFin:
         if (rt_.faults_enabled()) {
@@ -204,6 +209,175 @@ void ProxyDaemon::do_put(sim::Process& self, CtrlMsg& req) {
     st->done->fire();
     rt.notify_pe(requester);
   });
+}
+
+void ProxyDaemon::do_device_cmd(sim::Process& self, CtrlMsg& msg) {
+  // Reverse offload: a local PE's kernel wrote this command descriptor into
+  // our ring; execute it on the kernel's behalf. Protocol accounting runs on
+  // the requester's Ctx (its op_kind_ was set by the issuing DeviceCtx), so
+  // device-initiated ops land in the same tables as host-initiated ones.
+  ++device_cmds_served_;
+  auto cmd = std::static_pointer_cast<DeviceCmd>(msg.state);
+  const int requester = cmd->requester;
+  Ctx& rctx = rt_.ctx(requester);
+  Runtime& rt = rt_;
+  const bool faulty = rt_.faults_enabled();
+  const RmaOp& op = cmd->rma;
+
+  switch (cmd->op) {
+    case DeviceCmd::Op::kAmoFadd:
+    case DeviceCmd::Op::kAmoCswap: {
+      rctx.count_protocol(Protocol::kAtomicHw, sizeof(std::uint64_t));
+      std::uint64_t* result = cmd->amo_result.get();
+      auto post = [this, &self, cmd, result] {
+        if (cmd->op == DeviceCmd::Op::kAmoFadd) {
+          return rt_.verbs().atomic_fadd64(self, endpoint(),
+                                           cmd->rma.target_pe, cmd->amo_word,
+                                           cmd->amo_a, result);
+        }
+        return rt_.verbs().atomic_cswap64(self, endpoint(), cmd->rma.target_pe,
+                                          cmd->amo_word, cmd->amo_a,
+                                          cmd->amo_b, result);
+      };
+      auto comp = post();
+      if (faulty) {
+        rctx.await_reliable(self, std::move(comp), post);
+      } else {
+        comp->wait(self);
+      }
+      break;
+    }
+    case DeviceCmd::Op::kPut:
+    case DeviceCmd::Op::kGet: {
+      const bool is_get = cmd->op == DeviceCmd::Op::kGet;
+      const bool dev_leg =
+          op.local_is_device || op.remote_domain == Domain::kGpu;
+      if (op.same_node) {
+        // Peer copy through our IPC mappings — one hop, no network.
+        void* dst = is_get ? op.local : op.remote;
+        const void* src = is_get ? op.remote : op.local;
+        rctx.count_protocol(dev_leg ? Protocol::kIpcCopy : Protocol::kHostShm,
+                            op.bytes);
+        rt_.cuda().memcpy_sync(self, dst, src, op.bytes);
+        rt_.notify_pe(op.target_pe);
+      } else if (!rt_.selector().offload_staged(op, is_get, requester)) {
+        // Small enough for one direct posting from this node's HCA, issued
+        // under the requester's endpoint so registration and delivery match
+        // a host-initiated call.
+        rt_.verbs().reg_cache().get_or_register(self, requester, op.local,
+                                                op.bytes);
+        rctx.count_protocol(
+            dev_leg ? Protocol::kDirectGdr : Protocol::kDirectRdma, op.bytes);
+        auto post = [this, &self, requester, &op, is_get] {
+          if (is_get) {
+            return rt_.verbs().rdma_read(self, requester, op.local,
+                                         op.target_pe, op.remote, op.bytes);
+          }
+          return rt_.verbs().rdma_write(self, requester, op.local,
+                                        op.target_pe, op.remote, op.bytes);
+        };
+        auto comp = post();
+        if (faulty) {
+          rctx.await_reliable(self, std::move(comp), post);
+        } else {
+          comp->wait(self);
+        }
+      } else if (is_get) {
+        staged_device_get(self, rctx, op);
+      } else {
+        staged_device_put(self, rctx, op);
+      }
+      break;
+    }
+  }
+  // Completion notification: the CQ entry (or ring status word) the kernel
+  // polls. Fires even for commands the requester already reissued — the
+  // stale `done` is simply never looked at again.
+  rt_.verbs().post_send(self, endpoint(), requester, 0, [cmd, &rt, requester] {
+    cmd->done->fire();
+    rt.notify_pe(requester);
+  });
+}
+
+void ProxyDaemon::staged_device_put(sim::Process& self, Ctx& rctx,
+                                    const RmaOp& op) {
+  // Large device-initiated put: D->H IPC chunks out of the requester's GPU
+  // heap into our staging, RDMA-write each chunk out — the do_get pipeline
+  // shape, running at the *source* node. The final write lands directly in
+  // the target heap (a GDR leg when the target is GPU-resident).
+  const bool faulty = rt_.faults_enabled();
+  const std::size_t chunk =
+      std::min(rt_.tuning().pipeline_chunk, staging_.size() / 2);
+  rctx.count_protocol(Protocol::kProxyPut, op.bytes);
+  rt_.metrics()
+      .gauge("proxy/staging_used_bytes")
+      .set(std::min(2 * chunk, op.bytes));
+  auto* src = static_cast<const std::byte*>(op.local);
+  auto* dst = static_cast<std::byte*>(op.remote);
+  sim::CompletionPtr slot_comp[2];
+  std::function<sim::CompletionPtr()> slot_repost[2];
+  for (std::size_t off = 0; off < op.bytes; off += chunk) {
+    std::size_t c = std::min(chunk, op.bytes - off);
+    std::size_t s = (off / chunk) % 2;
+    if (slot_comp[s]) {
+      if (faulty) {
+        slot_comp[s] =
+            rctx.await_reliable(self, std::move(slot_comp[s]), slot_repost[s]);
+      } else {
+        slot_comp[s]->wait(self);
+      }
+    }
+    rt_.cuda().memcpy_sync(self, staging_.data() + s * chunk, src + off, c);
+    auto post = [this, &self, s, chunk, target = op.target_pe, dst, off, c] {
+      return rt_.verbs().rdma_write(self, endpoint(),
+                                    staging_.data() + s * chunk, target,
+                                    dst + off, c);
+    };
+    slot_comp[s] = post();
+    if (faulty) slot_repost[s] = std::move(post);
+  }
+  // Drain both slots before signalling completion: done must imply every
+  // byte is at its final destination.
+  for (std::size_t s = 0; s < 2; ++s) {
+    if (!slot_comp[s]) continue;
+    if (faulty) {
+      rctx.await_reliable(self, std::move(slot_comp[s]), slot_repost[s]);
+    } else {
+      slot_comp[s]->wait(self);
+    }
+  }
+}
+
+void ProxyDaemon::staged_device_get(sim::Process& self, Ctx& rctx,
+                                    const RmaOp& op) {
+  // Large device-initiated get: RDMA-read chunks into our staging, then
+  // H->D IPC them into the requester's buffer. Reads into staging are
+  // idempotent, so fault replays re-post in place.
+  const int requester = rctx.my_pe();
+  const bool faulty = rt_.faults_enabled();
+  const std::size_t chunk =
+      std::min(rt_.tuning().pipeline_chunk, staging_.size());
+  rctx.count_protocol(Protocol::kProxyGet, op.bytes);
+  rt_.metrics()
+      .gauge("proxy/staging_used_bytes")
+      .set(std::min(chunk, op.bytes));
+  auto* src = static_cast<const std::byte*>(op.remote);
+  auto* dst = static_cast<std::byte*>(op.local);
+  for (std::size_t off = 0; off < op.bytes; off += chunk) {
+    std::size_t c = std::min(chunk, op.bytes - off);
+    auto post = [this, &self, target = op.target_pe, src, off, c] {
+      return rt_.verbs().rdma_read(self, endpoint(), staging_.data(), target,
+                                   src + off, c);
+    };
+    auto comp = post();
+    if (faulty) {
+      rctx.await_reliable(self, std::move(comp), post);
+    } else {
+      comp->wait(self);
+    }
+    rt_.cuda().memcpy_sync(self, dst + off, staging_.data(), c);
+  }
+  rt_.notify_pe(requester);
 }
 
 }  // namespace gdrshmem::core

@@ -24,6 +24,8 @@
 namespace gdrshmem::core {
 
 class Runtime;
+class Ctx;
+struct RmaOp;
 
 /// Shared state of one proxy-put transfer, carried in the control messages.
 struct ProxyPutState {
@@ -62,12 +64,23 @@ class ProxyDaemon {
   // Diagnostics.
   std::uint64_t gets_served() const { return gets_served_; }
   std::uint64_t puts_served() const { return puts_served_; }
+  std::uint64_t device_cmds_served() const { return device_cmds_served_; }
   int restarts() const { return restarts_; }
 
  private:
   void serve(sim::Process& self);
   void do_get(sim::Process& self, CtrlMsg& msg);
   void do_put(sim::Process& self, CtrlMsg& req);
+  /// Execute one reverse-offload command descriptor (device-initiated op)
+  /// on behalf of a local PE's kernel: peer copies intra-node, a single
+  /// posting or the staged pipelines inter-node, hardware atomics. Fires
+  /// the command's completion through a send back to the requester (the CQ
+  /// entry the kernel polls).
+  void do_device_cmd(sim::Process& self, CtrlMsg& msg);
+  /// The staged pipelines behind oversized device commands (do_get shape,
+  /// run at the requester's node).
+  void staged_device_put(sim::Process& self, Ctx& rctx, const RmaOp& op);
+  void staged_device_get(sim::Process& self, Ctx& rctx, const RmaOp& op);
   void restart();
 
   Runtime& rt_;
@@ -79,6 +92,7 @@ class ProxyDaemon {
   int restarts_ = 0;
   std::uint64_t gets_served_ = 0;
   std::uint64_t puts_served_ = 0;
+  std::uint64_t device_cmds_served_ = 0;
 };
 
 }  // namespace gdrshmem::core

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "core/ctx.hpp"
+#include "core/device_api.hpp"
+#include "core/protocol_selector.hpp"
 #include "core/proxy.hpp"
 #include "core/transports.hpp"
 
@@ -80,6 +82,8 @@ Runtime::Runtime(const hw::ClusterConfig& cluster_cfg, const RuntimeOptions& opt
     ctxs_.push_back(std::make_unique<Ctx>(*this, pe));
   }
 
+  selector_ = std::make_unique<ProtocolSelector>(*this);
+
   switch (opts_.transport) {
     case TransportKind::kNaive:
       transport_ = std::make_unique<NaiveTransport>(*this);
@@ -96,6 +100,8 @@ Runtime::Runtime(const hw::ClusterConfig& cluster_cfg, const RuntimeOptions& opt
       }
       break;
   }
+
+  device_backend_ = make_device_backend(*this, opts_.device_backend);
 
   // Deliveries (RDMA data, atomics, ACKs) wake the owning PE's progress
   // engine; service-endpoint deliveries are bookkeeping only.
@@ -207,14 +213,16 @@ void Runtime::snapshot_metrics() {
   metrics_.counter("reg_cache/misses").set(verbs_.reg_cache().misses());
   metrics_.counter("ib/ops_posted").set(verbs_.ops_posted());
   if (proxies_enabled()) {
-    std::uint64_t gets = 0, puts = 0, restarts = 0;
+    std::uint64_t gets = 0, puts = 0, device_cmds = 0, restarts = 0;
     for (const auto& p : proxies_) {
       gets += p->gets_served();
       puts += p->puts_served();
+      device_cmds += p->device_cmds_served();
       restarts += static_cast<std::uint64_t>(p->restarts());
     }
     metrics_.counter("proxy/gets_served").set(gets);
     metrics_.counter("proxy/puts_served").set(puts);
+    metrics_.counter("proxy/device_cmds_served").set(device_cmds);
     metrics_.counter("proxy/restarts").set(restarts);
   }
   std::size_t host_used = 0, gpu_used = 0;

@@ -27,6 +27,8 @@ namespace gdrshmem::core {
 
 class Ctx;
 class ProxyDaemon;
+class ProtocolSelector;
+class DeviceBackend;
 
 struct RuntimeOptions {
   std::size_t host_heap_bytes = 16u << 20;
@@ -60,6 +62,14 @@ struct RuntimeOptions {
   /// never changes virtual time or event order.
   bool trace = trace_from_env();
   std::size_t trace_cap = trace_cap_from_env();
+  /// Engine behind device-initiated (in-kernel) operations
+  /// (GDRSHMEM_DEVICE_BACKEND=gpu-ib|reverse; gpu-ib by default). Both are
+  /// bit-identical in application results per seed; they differ only in
+  /// modeled cost, so CI A/Bs the whole suite under each value.
+  DeviceBackendKind device_backend = device_backend_from_env();
+  /// Outstanding command descriptors the reverse-offload ring holds per PE
+  /// before the kernel blocks on a free slot (GDRSHMEM_DEVICE_QUEUE_DEPTH).
+  std::size_t device_queue_depth = 64;
 
   /// Build options from the environment: parses and validates every
   /// GDRSHMEM_* variable (backend, heap sizes, transport, tuning
@@ -128,6 +138,12 @@ class Runtime {
   }
   ProxyDaemon& proxy(int node) { return *proxies_.at(static_cast<std::size_t>(node)); }
   bool proxies_enabled() const { return !proxies_.empty(); }
+  /// The single source of protocol decisions (GDR vs IPC vs staged vs
+  /// proxy), shared by the host transport, the device backends, and the
+  /// proxy's device-command service.
+  ProtocolSelector& selector() { return *selector_; }
+  /// Engine behind in-kernel operations (per options().device_backend).
+  DeviceBackend& device_backend() { return *device_backend_; }
 
   SymmetricHeap& heap(int pe, Domain d) {
     auto& hs = heaps_.at(static_cast<std::size_t>(pe));
@@ -184,6 +200,8 @@ class Runtime {
   std::vector<std::unique_ptr<Ctx>> ctxs_;
   std::vector<std::unique_ptr<ProxyDaemon>> proxies_;
   std::unique_ptr<Transport> transport_;
+  std::unique_ptr<ProtocolSelector> selector_;
+  std::unique_ptr<DeviceBackend> device_backend_;
   std::vector<AllocRecord> alloc_log_;
   bool ran_ = false;
 };

@@ -1,3 +1,6 @@
+// This file implements the deprecated classic spellings too.
+#define GDRSHMEM_NO_DEPRECATE
+
 #include "core/shmem_api.hpp"
 
 #include <cstring>

@@ -1,0 +1,76 @@
+#include "gdrshmem/shmem_device.h"
+
+namespace gdrshmem::capi {
+
+void shmemx_launch_kernel(core::Ctx& ctx, double per_cell_ns,
+                          core::DeviceScope scope,
+                          const std::function<void(shmemx_device_ctx_t)>& body) {
+  ctx.launch_kernel_device(per_cell_ns, scope,
+                           [&](core::DeviceCtx& dctx) { body(&dctx); });
+}
+
+int shmemx_my_pe(shmemx_device_ctx_t dctx) { return dctx->my_pe(); }
+int shmemx_n_pes(shmemx_device_ctx_t dctx) { return dctx->n_pes(); }
+
+void shmemx_putmem(shmemx_device_ctx_t dctx, void* dst_sym, const void* src,
+                   std::size_t n, int pe) {
+  dctx->putmem(dst_sym, src, n, pe);
+}
+void shmemx_getmem(shmemx_device_ctx_t dctx, void* dst, const void* src_sym,
+                   std::size_t n, int pe) {
+  dctx->getmem(dst, src_sym, n, pe);
+}
+void shmemx_putmem_nbi(shmemx_device_ctx_t dctx, void* dst_sym,
+                       const void* src, std::size_t n, int pe) {
+  dctx->putmem_nbi(dst_sym, src, n, pe);
+}
+void shmemx_getmem_nbi(shmemx_device_ctx_t dctx, void* dst,
+                       const void* src_sym, std::size_t n, int pe) {
+  dctx->getmem_nbi(dst, src_sym, n, pe);
+}
+
+void shmemx_putmem_signal(shmemx_device_ctx_t dctx, void* dst_sym,
+                          const void* src, std::size_t n,
+                          std::uint64_t* sig_sym, std::uint64_t signal,
+                          int pe) {
+  dctx->put_signal(dst_sym, src, n, sig_sym, signal, pe);
+}
+
+void shmemx_quiet(shmemx_device_ctx_t dctx) { dctx->quiet(); }
+void shmemx_fence(shmemx_device_ctx_t dctx) { dctx->fence(); }
+
+void shmemx_signal_wait_until(shmemx_device_ctx_t dctx,
+                              const std::uint64_t* sig_sym, core::Cmp cmp,
+                              std::uint64_t value) {
+  dctx->signal_wait_until(sig_sym, cmp, value);
+}
+void shmemx_longlong_wait_until(shmemx_device_ctx_t dctx,
+                                const long long* sym, core::Cmp cmp,
+                                long long value) {
+  dctx->wait_until(sym, cmp, value);
+}
+
+long long shmemx_atomic_fetch_add(shmemx_device_ctx_t dctx, long long* sym,
+                                  long long value, int pe) {
+  return dctx->atomic_fetch_add(reinterpret_cast<std::int64_t*>(sym), value,
+                                pe);
+}
+void shmemx_atomic_add(shmemx_device_ctx_t dctx, long long* sym,
+                       long long value, int pe) {
+  dctx->atomic_add(reinterpret_cast<std::int64_t*>(sym), value, pe);
+}
+long long shmemx_atomic_compare_swap(shmemx_device_ctx_t dctx, long long* sym,
+                                     long long cond, long long value, int pe) {
+  return dctx->atomic_compare_swap(reinterpret_cast<std::int64_t*>(sym), cond,
+                                   value, pe);
+}
+
+void* shmemx_ptr(shmemx_device_ctx_t dctx, const void* sym, int pe) {
+  return dctx->ptr(sym, pe);
+}
+
+void shmemx_compute(shmemx_device_ctx_t dctx, std::size_t cells) {
+  dctx->compute(cells);
+}
+
+}  // namespace gdrshmem::capi

@@ -61,8 +61,6 @@ class EnhancedGdrTransport final : public Transport {
   void handle_ctrl(Ctx& ctx, CtrlMsg& msg, sim::Process& worker) override;
 
  private:
-  void put_intra(Ctx& ctx, const RmaOp& op);
-  void get_intra(Ctx& ctx, const RmaOp& op);
   void direct_put(Ctx& ctx, const RmaOp& op, Protocol proto);
   void direct_get(Ctx& ctx, const RmaOp& op, Protocol proto);
   void pipeline_gdr_write(Ctx& ctx, const RmaOp& op);
@@ -79,12 +77,6 @@ class EnhancedGdrTransport final : public Transport {
   /// Record a gdr-fallback event when a device leg of `op` sits on a node
   /// whose P2P capability has been revoked (fault plans only).
   void note_gdr_fallback(const RmaOp& op);
-
-  /// Largest message Direct/loopback GDR should carry for this op, given
-  /// which legs touch a GPU and the socket placement of each side. Legs on
-  /// a node whose P2P capability was revoked get a limit of 0, steering
-  /// every size onto the GDR-free protocols.
-  std::size_t gdr_limit(const RmaOp& op, bool is_get, bool intra_node) const;
 
   Runtime& rt_;
   /// PE issuing the operation being dispatched (set on entry; execution is

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -42,6 +43,47 @@ inline const char* to_string(TransportKind k) {
 
 inline const char* to_string(Domain d) {
   return d == Domain::kHost ? "host" : "gpu";
+}
+
+/// Which engine services device-initiated (in-kernel) operations.
+enum class DeviceBackendKind {
+  kGpuIb,           // GPU builds WQEs and rings the HCA doorbell directly
+  kReverseOffload,  // GPU enqueues command descriptors; the proxy drains them
+};
+
+inline const char* to_string(DeviceBackendKind k) {
+  switch (k) {
+    case DeviceBackendKind::kGpuIb: return "gpu-ib";
+    case DeviceBackendKind::kReverseOffload: return "reverse";
+  }
+  return "?";
+}
+
+/// GDRSHMEM_DEVICE_BACKEND (gpu-ib | reverse; gpu-ib when unset). Consulted
+/// by RuntimeOptions' defaulted member, mirroring sim::backend_from_env, so
+/// every runtime honors the variable unless code pins a backend explicitly.
+inline DeviceBackendKind device_backend_from_env() {
+  const char* v = std::getenv("GDRSHMEM_DEVICE_BACKEND");
+  if (v == nullptr || *v == '\0') return DeviceBackendKind::kGpuIb;
+  std::string s(v);
+  if (s == "gpu-ib") return DeviceBackendKind::kGpuIb;
+  if (s == "reverse") return DeviceBackendKind::kReverseOffload;
+  throw std::invalid_argument(
+      "GDRSHMEM_DEVICE_BACKEND: expected 'gpu-ib' or 'reverse', got \"" + s +
+      "\"");
+}
+
+/// Granularity at which device threads cooperate on one operation. Wider
+/// scopes amortize the WQE build across lanes (hw::params divisors).
+enum class DeviceScope { kThread, kWarp, kBlock };
+
+inline const char* to_string(DeviceScope s) {
+  switch (s) {
+    case DeviceScope::kThread: return "thread";
+    case DeviceScope::kWarp: return "warp";
+    case DeviceScope::kBlock: return "block";
+  }
+  return "?";
 }
 
 /// Reduction operators of the collectives engine. kBand (bitwise AND) is

@@ -195,4 +195,23 @@ std::shared_ptr<CudaEvent> CudaRuntime::launch_kernel_async(
   return enqueue(stream, cost, std::move(body));
 }
 
+void CudaRuntime::launch_kernel_resident(
+    sim::Process& proc, double per_cell_ns,
+    const std::function<void(KernelContext&)>& body) {
+  proc.delay(Duration::us(cluster_.params().cuda_kernel_launch_us));
+  KernelContext kc(*this, proc, per_cell_ns);
+  body(kc);
+}
+
+void KernelContext::compute(std::size_t cells) {
+  if (cells == 0) return;
+  proc_.delay(Duration::ns(static_cast<std::int64_t>(
+      static_cast<double>(cells) * per_cell_ns_ + 0.5)));
+}
+
+void KernelContext::charge_us(double us) {
+  if (us <= 0) return;
+  proc_.delay(Duration::us(us));
+}
+
 }  // namespace gdrshmem::cudart

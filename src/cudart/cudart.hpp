@@ -100,6 +100,35 @@ class Stream {
   sim::Time busy_until_;
 };
 
+class CudaRuntime;
+
+/// Execution context of a *resident* "kernel": a kernel body that keeps
+/// running on the GPU while issuing further work, instead of terminating so
+/// the host can act. The body charges device compute incrementally through
+/// `compute()`; the device-initiated OpenSHMEM surface (core::DeviceCtx)
+/// charges its WQE-build/doorbell/descriptor costs through `charge_us()`.
+class KernelContext {
+ public:
+  KernelContext(CudaRuntime& rt, sim::Process& proc, double per_cell_ns)
+      : rt_(rt), proc_(proc), per_cell_ns_(per_cell_ns) {}
+  KernelContext(const KernelContext&) = delete;
+  KernelContext& operator=(const KernelContext&) = delete;
+
+  /// Charge `cells` of device compute at the kernel's per-cell rate.
+  void compute(std::size_t cells);
+  /// Charge an explicit device-side cost in microseconds.
+  void charge_us(double us);
+
+  sim::Process& proc() { return proc_; }
+  double per_cell_ns() const { return per_cell_ns_; }
+  CudaRuntime& runtime() { return rt_; }
+
+ private:
+  CudaRuntime& rt_;
+  sim::Process& proc_;
+  double per_cell_ns_;
+};
+
 class CudaRuntime {
  public:
   CudaRuntime(sim::Engine& eng, hw::Cluster& cluster)
@@ -142,6 +171,13 @@ class CudaRuntime {
                                                  double per_cell_ns,
                                                  std::function<void()> body,
                                                  Stream& stream);
+  /// Launch a resident kernel: charge the launch overhead once, then run
+  /// `body` inline on the calling process. The body charges its own compute
+  /// through the KernelContext and may block (waits, communication) without
+  /// terminating the kernel — the persistent-kernel model device-initiated
+  /// communication requires.
+  void launch_kernel_resident(sim::Process& proc, double per_cell_ns,
+                              const std::function<void(KernelContext&)>& body);
 
   // Exposed for the transports: the raw copy path between two locations on
   // one node (used to price pipeline stages without issuing them).

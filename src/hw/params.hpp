@@ -100,6 +100,29 @@ struct SystemParams {
   /// protocols (bytes).
   std::size_t pipeline_chunk_bytes = 256 * 1024;
 
+  // ---- Device-initiated communication ------------------------------------
+  // Costs of issuing OpenSHMEM operations from inside a running kernel
+  // (NVSHMEM/ROC_SHMEM-style). The GPU-IB backend pays a WQE build plus a
+  // doorbell ring per operation; the reverse-offload backend pays one
+  // host-visible descriptor write and lets the proxy absorb the posting cost.
+  /// A single GPU thread assembling a work-queue entry in registers/shared
+  /// memory and writing it to the QP buffer (BAR or host-pinned).
+  double gpu_wqe_build_us = 0.9;
+  /// MMIO doorbell ring across PCIe from the GPU to the HCA.
+  double gpu_doorbell_us = 1.1;
+  /// Polling the completion queue from device code (one CQE read across
+  /// the BAR) — charged by device-side quiet.
+  double gpu_cq_poll_us = 0.5;
+  /// One command descriptor written to the host-visible ring that the
+  /// reverse-offload proxy polls (write-combined PCIe store + flag flip).
+  double device_cmd_write_us = 0.4;
+  /// Cooperative WQE assembly amortizes the build cost across lanes:
+  /// warp-scope issues divide gpu_wqe_build_us by this...
+  double wqe_warp_divisor = 4.0;
+  /// ...and block-scope issues by this (doorbell cost is never divided —
+  /// the ring itself is one MMIO store regardless of scope).
+  double wqe_block_divisor = 8.0;
+
   // ---- GPU compute model -------------------------------------------------
   /// Per-lattice-cell update cost used by the application kernels (ns).
   /// Stencil2D and LBM override this per app; see src/apps.

@@ -100,6 +100,108 @@ TEST(Stencil2D, EnhancedFasterThanBaselineAtScale) {
   EXPECT_LT(improvement, 0.60);
 }
 
+// ---------------------------------------------------------------------------
+// Device-initiated variant: one resident kernel, in-kernel halo exchange.
+
+core::RuntimeOptions device_opts(core::DeviceBackendKind kind) {
+  core::RuntimeOptions o = opts_for(core::TransportKind::kEnhancedGdr);
+  o.device_backend = kind;
+  return o;
+}
+
+TEST(Stencil2DDevice, BackendsBitIdenticalWithHostDriven) {
+  // The acceptance bar: gpu-ib, reverse offload, and the host-driven path
+  // must agree to the last bit per seed — they run the same arithmetic in
+  // the same order and differ only in modeled communication cost.
+  Stencil2DConfig cfg;
+  cfg.nx = 64;
+  cfg.ny = 64;
+  cfg.px = 2;
+  cfg.py = 2;
+  cfg.iterations = 6;
+  double ref = stencil2d_reference_checksum(cfg);
+  for (sim::BackendKind engine :
+       {sim::BackendKind::kFibers, sim::BackendKind::kThreads}) {
+    auto host_o = device_opts(core::DeviceBackendKind::kGpuIb);
+    host_o.sim_backend = engine;
+    auto host = run_stencil2d(cluster_for(4), host_o, cfg);
+    for (auto kind : {core::DeviceBackendKind::kGpuIb,
+                      core::DeviceBackendKind::kReverseOffload}) {
+      auto o = device_opts(kind);
+      o.sim_backend = engine;
+      auto dev = run_stencil2d_device(cluster_for(4), o, cfg);
+      EXPECT_EQ(dev.checksum, host.checksum)
+          << core::to_string(kind) << " on " << sim::to_string(engine);
+      EXPECT_EQ(dev.cells_updated, host.cells_updated);
+    }
+    EXPECT_NEAR(host.checksum, ref, std::abs(ref) * 1e-9 + 1e-9);
+  }
+}
+
+TEST(Stencil2DDevice, EnvSelectedBackendMatchesReference) {
+  // Deliberately does NOT pin a device backend: RuntimeOptions' default
+  // honors GDRSHMEM_DEVICE_BACKEND, so the tier-1 A/B stage drives this test
+  // through both engines.
+  Stencil2DConfig cfg;
+  cfg.nx = 32;
+  cfg.ny = 32;
+  cfg.px = 2;
+  cfg.py = 2;
+  cfg.iterations = 4;
+  auto res = run_stencil2d_device(
+      cluster_for(4), opts_for(core::TransportKind::kEnhancedGdr), cfg);
+  double ref = stencil2d_reference_checksum(cfg);
+  EXPECT_NEAR(res.checksum, ref, std::abs(ref) * 1e-9 + 1e-9);
+}
+
+TEST(Stencil2DDevice, MatchesReferenceOn1dGrid) {
+  Stencil2DConfig cfg;
+  cfg.nx = 16;
+  cfg.ny = 64;
+  cfg.px = 1;
+  cfg.py = 4;
+  cfg.iterations = 5;
+  double ref = stencil2d_reference_checksum(cfg);
+  auto res = run_stencil2d_device(
+      cluster_for(4), device_opts(core::DeviceBackendKind::kGpuIb), cfg);
+  EXPECT_NEAR(res.checksum, ref, std::abs(ref) * 1e-9 + 1e-9);
+}
+
+TEST(Stencil2DDevice, InKernelExchangeBeatsHostDriven) {
+  // The tentpole's headline: keeping the kernel resident (no per-iteration
+  // launches or barriers) must win on virtual time at scale.
+  Stencil2DConfig cfg;
+  cfg.nx = 256;
+  cfg.ny = 256;
+  cfg.px = 4;
+  cfg.py = 2;
+  cfg.iterations = 25;
+  cfg.functional = false;
+  cfg.per_cell_ns = 1.0;
+  auto o = device_opts(core::DeviceBackendKind::kGpuIb);
+  auto host = run_stencil2d(cluster_for(8), o, cfg);
+  auto dev = run_stencil2d_device(cluster_for(8), o, cfg);
+  EXPECT_LT(dev.exec_time_ms, host.exec_time_ms);
+}
+
+TEST(Stencil2DDevice, ProxyCrashMidKernelPreservesChecksum) {
+  // Reverse offload under a fault plan that kills a serving proxy while the
+  // resident kernels are mid-exchange: the run must recover and produce the
+  // exact fault-free checksum.
+  Stencil2DConfig cfg;
+  cfg.nx = 64;
+  cfg.ny = 64;
+  cfg.px = 2;
+  cfg.py = 2;
+  cfg.iterations = 6;
+  auto clean_o = device_opts(core::DeviceBackendKind::kReverseOffload);
+  auto clean = run_stencil2d_device(cluster_for(4), clean_o, cfg);
+  auto faulty_o = device_opts(core::DeviceBackendKind::kReverseOffload);
+  faulty_o.faults = sim::FaultPlan::parse("crash=0@120");
+  auto faulty = run_stencil2d_device(cluster_for(4), faulty_o, cfg);
+  EXPECT_EQ(faulty.checksum, clean.checksum);
+}
+
 TEST(Stencil2D, FunctionalFlagDoesNotChangeTiming) {
   Stencil2DConfig cfg;
   cfg.nx = 32;

@@ -1,6 +1,8 @@
 // The OpenSHMEM-1.4-shaped C API surface: new names vs the classic aliases
 // (same bytes, same virtual time), shmem_calloc zeroing on both heaps, and
 // RuntimeOptions::from_env validation of every GDRSHMEM_* variable.
+// This file exercises the deprecated classic spellings on purpose.
+#define GDRSHMEM_NO_DEPRECATE
 #include <gtest/gtest.h>
 
 #include <cstdlib>
