@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "core/ctx.hpp"
-#include "core/shmem_api.hpp"
+#include "gdrshmem/shmem.h"
 
 using namespace gdrshmem;
 using namespace gdrshmem::capi;

@@ -11,7 +11,7 @@
 #include <cstring>
 
 #include "core/ctx.hpp"
-#include "core/shmem_api.hpp"
+#include "gdrshmem/shmem.h"
 
 using namespace gdrshmem;
 using namespace gdrshmem::capi;

@@ -72,6 +72,20 @@ core::Ctx& current();
 int shmem_my_pe();
 int shmem_n_pes();
 
+/// OpenSHMEM 1.5 runtime queries: the specification version the primary
+/// spellings follow and the vendor name string (null-terminated, at most
+/// SHMEM_MAX_NAME_LEN bytes including the terminator).
+inline constexpr int SHMEM_MAX_NAME_LEN = 64;
+void shmem_info_get_version(int* major, int* minor);
+void shmem_info_get_name(char* name);
+
+/// gdrshmem extensions: the active IB queue-pair transport ("rc" | "ud" |
+/// "dc") and the rail count large messages stripe across — so apps and
+/// benches report the transport in effect instead of re-reading env vars.
+/// Both require a bound context (the transport is a runtime property).
+const char* shmemx_transport_name();
+int shmemx_rail_count();
+
 // ---- symmetric memory (OpenSHMEM 1.4, with the paper's Domain extension) --
 /// shmem_malloc(size): collective symmetric allocation on the host heap.
 /// The two-argument overload is this runtime's GPU extension — the paper's

@@ -20,6 +20,17 @@ for dev_backend in gpu-ib reverse; do
      ctest --output-on-failure -R 'DeviceApi|Stencil2DDevice')
 done
 
+# IB-transport A/B: the byte-exact differential suites run with the
+# process-wide default transport flipped between the RC mesh and DC pool,
+# exercising GDRSHMEM_IB_TRANSPORT parsing end-to-end plus every protocol
+# path over the selected QP discipline. (Timing-assertion suites stay on
+# their pinned configs — transports move the clock, never the bytes.)
+for ib_transport in rc dc; do
+  echo "== ib-transport A/B: GDRSHMEM_IB_TRANSPORT=$ib_transport =="
+  (cd build && GDRSHMEM_IB_TRANSPORT=$ib_transport \
+     ctest --output-on-failure -R 'TransportDiff|Fuzz|OddSizes')
+done
+
 scripts/check_sanitize.sh
 
 # Scale smoke: one 1K-PE barrier+message-rate round under a loose wall

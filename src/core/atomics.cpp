@@ -44,8 +44,8 @@ std::int64_t Ctx::atomic_fetch_add(std::int64_t* sym, std::int64_t value, int pe
   std::uint64_t* word = resolve_word(*rt_, pe_, pe, sym);
   std::uint64_t old = 0;
   await_atomic(*this, [&] {
-    return rt_->verbs().atomic_fadd64(proc(), pe_, pe, word,
-                                      static_cast<std::uint64_t>(value), &old);
+    return rt_->endpoint(pe_).atomic_fadd64(
+        proc(), pe, word, static_cast<std::uint64_t>(value), &old);
   });
   finish_op(TraceEvent::Kind::kAtomic, pe, 8, t0);
   return static_cast<std::int64_t>(old);
@@ -65,9 +65,9 @@ std::int64_t Ctx::atomic_compare_swap(std::int64_t* sym, std::int64_t cond,
   std::uint64_t* word = resolve_word(*rt_, pe_, pe, sym);
   std::uint64_t old = 0;
   await_atomic(*this, [&] {
-    return rt_->verbs().atomic_cswap64(proc(), pe_, pe, word,
-                                       static_cast<std::uint64_t>(cond),
-                                       static_cast<std::uint64_t>(value), &old);
+    return rt_->endpoint(pe_).atomic_cswap64(
+        proc(), pe, word, static_cast<std::uint64_t>(cond),
+        static_cast<std::uint64_t>(value), &old);
   });
   finish_op(TraceEvent::Kind::kAtomic, pe, 8, t0);
   return static_cast<std::int64_t>(old);
@@ -118,7 +118,7 @@ std::int32_t Ctx::atomic_fetch_add32(std::int32_t* sym, std::int32_t value, int 
     std::uint64_t cur = 0;
     count_protocol(Protocol::kAtomicHw, 8);
     await_atomic(*this, [&] {
-      return rt_->verbs().atomic_fadd64(proc(), pe_, pe, lane.word, 0, &cur);
+      return rt_->endpoint(pe_).atomic_fadd64(proc(), pe, lane.word, 0, &cur);
     });
     auto lane_val = static_cast<std::uint32_t>((cur & mask) >> lane.shift);
     auto updated = static_cast<std::uint32_t>(
@@ -128,8 +128,8 @@ std::int32_t Ctx::atomic_fetch_add32(std::int32_t* sym, std::int32_t value, int 
     std::uint64_t old = 0;
     count_protocol(Protocol::kAtomicHw, 8);
     await_atomic(*this, [&] {
-      return rt_->verbs().atomic_cswap64(proc(), pe_, pe, lane.word, cur,
-                                         desired, &old);
+      return rt_->endpoint(pe_).atomic_cswap64(proc(), pe, lane.word, cur,
+                                               desired, &old);
     });
     if (old == cur) {
       // One user-level op, however many hardware attempts the race cost.
@@ -152,7 +152,7 @@ std::int32_t Ctx::atomic_compare_swap32(std::int32_t* sym, std::int32_t cond,
     std::uint64_t cur = 0;
     count_protocol(Protocol::kAtomicHw, 8);
     await_atomic(*this, [&] {
-      return rt_->verbs().atomic_fadd64(proc(), pe_, pe, lane.word, 0, &cur);
+      return rt_->endpoint(pe_).atomic_fadd64(proc(), pe, lane.word, 0, &cur);
     });
     auto lane_val = static_cast<std::uint32_t>((cur & mask) >> lane.shift);
     if (static_cast<std::int32_t>(lane_val) != cond) {
@@ -165,8 +165,8 @@ std::int32_t Ctx::atomic_compare_swap32(std::int32_t* sym, std::int32_t cond,
     std::uint64_t old = 0;
     count_protocol(Protocol::kAtomicHw, 8);
     await_atomic(*this, [&] {
-      return rt_->verbs().atomic_cswap64(proc(), pe_, pe, lane.word, cur,
-                                         desired, &old);
+      return rt_->endpoint(pe_).atomic_cswap64(proc(), pe, lane.word, cur,
+                                               desired, &old);
     });
     if (old == cur) {
       finish_op(TraceEvent::Kind::kAtomic, pe, 4, t0);

@@ -222,9 +222,10 @@ class GpuIbBackend final : public DeviceBackend {
     std::uint64_t old = 0;
     auto post = [this, &ctx, me, pe, word, is_cswap, a, b, &old] {
       if (is_cswap) {
-        return rt_.verbs().atomic_cswap64(ctx.proc(), me, pe, word, a, b, &old);
+        return rt_.endpoint(me).atomic_cswap64(ctx.proc(), pe, word, a, b,
+                                               &old);
       }
-      return rt_.verbs().atomic_fadd64(ctx.proc(), me, pe, word, a, &old);
+      return rt_.endpoint(me).atomic_fadd64(ctx.proc(), pe, word, a, &old);
     };
     auto comp = post();
     if (rt_.faults_enabled()) {

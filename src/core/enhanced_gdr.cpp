@@ -151,7 +151,7 @@ void EnhancedGdrTransport::pipeline_gdr_write(Ctx& ctx, const RmaOp& op) {
     rt_.cuda().memcpy_sync(ctx.proc(), bounce + s * chunk, local_bytes + off, c);
     auto post = [this, &ctx, me, bounce, s, chunk, target = op.target_pe,
                  remote_bytes, off, c] {
-      return rt_.verbs().rdma_write(ctx.proc(), me, bounce + s * chunk, target,
+      return rt_.ib().rdma_write(ctx.proc(), me, bounce + s * chunk, target,
                                     remote_bytes + off, c);
     };
     auto comp = post();
@@ -193,7 +193,7 @@ void EnhancedGdrTransport::host_staged_get(Ctx& ctx, const RmaOp& op) {
     if (h2d[s]) h2d[s]->synchronize(ctx.proc());  // staging slot reusable
     auto post = [this, &ctx, me, bounce, s, chunk, target = op.target_pe,
                  remote_bytes, off, c] {
-      return rt_.verbs().rdma_read(ctx.proc(), me, bounce + s * chunk, target,
+      return rt_.ib().rdma_read(ctx.proc(), me, bounce + s * chunk, target,
                                    remote_bytes + off, c);
     };
     if (rt_.faults_enabled()) {
@@ -240,7 +240,7 @@ void EnhancedGdrTransport::proxy_put(Ctx& ctx, const RmaOp& op,
   req.remote = op.remote;
   req.bytes = op.bytes;
   req.state = st;
-  rt_.verbs().post_send(ctx.proc(), me, proxy.endpoint(), 32,
+  rt_.ib().post_send(ctx.proc(), me, proxy.endpoint(), 32,
                         [&proxy, req] { proxy.mailbox().post(req); });
   ctx.wait_for([&] { return st->cts.done(); });
 
@@ -253,7 +253,7 @@ void EnhancedGdrTransport::proxy_put(Ctx& ctx, const RmaOp& op,
       std::uint64_t need = off / window;
       ctx.wait_for([&] { return st->windows_done >= need; });
     }
-    ctx.track(rt_.verbs().rdma_write(ctx.proc(), me, src_bytes + off,
+    ctx.track(rt_.ib().rdma_write(ctx.proc(), me, src_bytes + off,
                                      proxy.endpoint(), st->staging, w));
     CtrlMsg fin;
     fin.kind = CtrlMsg::Kind::kProxyPutFin;
@@ -262,7 +262,7 @@ void EnhancedGdrTransport::proxy_put(Ctx& ctx, const RmaOp& op,
     fin.bytes = w;
     fin.offset = off;
     fin.state = st;
-    rt_.verbs().post_send(ctx.proc(), me, proxy.endpoint(), 0,
+    rt_.ib().post_send(ctx.proc(), me, proxy.endpoint(), 0,
                           [&proxy, fin] { proxy.mailbox().post(fin); });
   }
   (void)rt;
@@ -285,7 +285,7 @@ bool EnhancedGdrTransport::attempt_proxy_put(Ctx& ctx, const RmaOp& op,
   req.remote = op.remote;
   req.bytes = op.bytes;
   req.state = st;
-  rt_.verbs().post_send(ctx.proc(), me, proxy.endpoint(), 32,
+  rt_.ib().post_send(ctx.proc(), me, proxy.endpoint(), 32,
                         [&proxy, req] { proxy.mailbox().post(req); });
   if (!ctx.wait_for_deadline([&] { return st->cts.done(); },
                              ctx.now() + timeout)) {
@@ -308,7 +308,7 @@ bool EnhancedGdrTransport::attempt_proxy_put(Ctx& ctx, const RmaOp& op,
     // the proxy's H->D copy drained the window. host_src stays valid across
     // replays (user buffer or whole-message bounce).
     auto post = [this, &ctx, me, src_bytes, off, &proxy, st, w] {
-      return rt_.verbs().rdma_write(ctx.proc(), me, src_bytes + off,
+      return rt_.ib().rdma_write(ctx.proc(), me, src_bytes + off,
                                     proxy.endpoint(), st->staging, w);
     };
     ctx.await_reliable(ctx.proc(), post(), post);
@@ -319,7 +319,7 @@ bool EnhancedGdrTransport::attempt_proxy_put(Ctx& ctx, const RmaOp& op,
     fin.bytes = w;
     fin.offset = off;
     fin.state = st;
-    rt_.verbs().post_send(ctx.proc(), me, proxy.endpoint(), 0,
+    rt_.ib().post_send(ctx.proc(), me, proxy.endpoint(), 0,
                           [&proxy, fin] { proxy.mailbox().post(fin); });
   }
   return ctx.wait_for_deadline([&] { return st->done->done(); },
@@ -340,7 +340,7 @@ bool EnhancedGdrTransport::attempt_proxy_get(Ctx& ctx, const RmaOp& op) {
   req.remote = op.remote;
   req.bytes = op.bytes;
   req.state = st;
-  rt_.verbs().post_send(ctx.proc(), me, proxy.endpoint(), 32,
+  rt_.ib().post_send(ctx.proc(), me, proxy.endpoint(), 32,
                         [&proxy, req] { proxy.mailbox().post(req); });
   // One stage: the proxy streams straight into our destination buffer and
   // fires done. A replayed attempt rewrites the same bytes — idempotent.
@@ -376,7 +376,7 @@ void EnhancedGdrTransport::proxy_get(Ctx& ctx, const RmaOp& op) {
   req.remote = op.remote;  // device range on the proxy's node
   req.bytes = op.bytes;
   req.state = st;
-  rt_.verbs().post_send(ctx.proc(), me, proxy.endpoint(), 32,
+  rt_.ib().post_send(ctx.proc(), me, proxy.endpoint(), 32,
                         [&proxy, req] { proxy.mailbox().post(req); });
   if (op.blocking) {
     ctx.wait_for([&] { return st->done->done(); });

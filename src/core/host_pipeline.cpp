@@ -147,7 +147,7 @@ void HostPipelineTransport::eager_put(Ctx& ctx, const RmaOp& op) {
   void* remote_slot = rt_.eager_slot(dst, me);
   auto data_post = [this, &ctx, me, slot_src, dst, remote_slot,
                     bytes = op.bytes] {
-    return rt_.verbs().rdma_write(ctx.proc(), me, slot_src, dst, remote_slot,
+    return rt_.ib().rdma_write(ctx.proc(), me, slot_src, dst, remote_slot,
                                   bytes);
   };
   if (rt_.faults_enabled()) {
@@ -168,7 +168,7 @@ void HostPipelineTransport::eager_put(Ctx& ctx, const RmaOp& op) {
   msg.bytes = op.bytes;
   msg.state = done;
   Runtime& rt = rt_;
-  rt_.verbs().post_send(ctx.proc(), me, dst, 32, [&rt, dst, msg] {
+  rt_.ib().post_send(ctx.proc(), me, dst, 32, [&rt, dst, msg] {
     rt.ctx(dst).rx().post(msg);
     rt.ctx(dst).notify_progress();
   });
@@ -197,7 +197,7 @@ void HostPipelineTransport::on_eager_data(Ctx& ctx, CtrlMsg& msg,
   // ACK back to the source so its quiet() can retire the put.
   Runtime& rt = rt_;
   int requester = msg.from;
-  rt_.verbs().post_send(worker, ctx.my_pe(), requester, 0,
+  rt_.ib().post_send(worker, ctx.my_pe(), requester, 0,
                         [done, &rt, requester] {
                           done->fire();
                           rt.notify_pe(requester);
@@ -220,7 +220,7 @@ void HostPipelineTransport::on_eager_get_req(Ctx& ctx, CtrlMsg& msg,
   auto data_post = [this, &worker, me, slot_src, requester,
                     remote_slot = rt_.eager_slot(requester, me),
                     bytes = msg.bytes] {
-    return rt_.verbs().rdma_write(worker, me, slot_src, requester, remote_slot,
+    return rt_.ib().rdma_write(worker, me, slot_src, requester, remote_slot,
                                   bytes);
   };
   if (rt_.faults_enabled()) {
@@ -236,7 +236,7 @@ void HostPipelineTransport::on_eager_get_req(Ctx& ctx, CtrlMsg& msg,
   reply.is_reply = true;
   reply.state = msg.state;
   Runtime& rt = rt_;
-  rt_.verbs().post_send(worker, me, requester, 32, [&rt, requester, reply] {
+  rt_.ib().post_send(worker, me, requester, 32, [&rt, requester, reply] {
     rt.ctx(requester).rx().post(reply);
     rt.ctx(requester).notify_progress();
   });
@@ -252,7 +252,7 @@ void HostPipelineTransport::grant_cts(Ctx& ctx, CtrlMsg& rts,
   ctx.set_staging_busy(true);
   Runtime& rt = rt_;
   const int requester = rts.from;
-  rt_.verbs().post_send(worker, ctx.my_pe(), requester, 16,
+  rt_.ib().post_send(worker, ctx.my_pe(), requester, 16,
                         [st, staging, &rt, requester] {
                           st->staging = staging;
                           st->cts.fire();
@@ -284,7 +284,7 @@ void HostPipelineTransport::rendezvous_put(Ctx& ctx, const RmaOp& op) {
   rts.remote = op.remote;
   rts.bytes = op.bytes;
   rts.state = st;
-  rt_.verbs().post_send(ctx.proc(), me, dst, 32, [&rt, dst, rts] {
+  rt_.ib().post_send(ctx.proc(), me, dst, 32, [&rt, dst, rts] {
     rt.ctx(dst).rx().post(rts);
     rt.ctx(dst).notify_progress();
   });
@@ -307,7 +307,7 @@ void HostPipelineTransport::rendezvous_put(Ctx& ctx, const RmaOp& op) {
       buf = local_bytes + off;
     }
     auto data_post = [this, &ctx, me, buf, dst, st, off, c] {
-      return rt_.verbs().rdma_write(ctx.proc(), me, buf, dst, st->staging + off,
+      return rt_.ib().rdma_write(ctx.proc(), me, buf, dst, st->staging + off,
                                     c);
     };
     if (rt_.faults_enabled()) {
@@ -328,7 +328,7 @@ void HostPipelineTransport::rendezvous_put(Ctx& ctx, const RmaOp& op) {
     chunk_msg.bytes = c;
     chunk_msg.offset = off;
     chunk_msg.state = st;
-    rt_.verbs().post_send(ctx.proc(), me, dst, 0, [&rt, dst, chunk_msg] {
+    rt_.ib().post_send(ctx.proc(), me, dst, 0, [&rt, dst, chunk_msg] {
       rt.ctx(dst).rx().post(chunk_msg);
       rt.ctx(dst).notify_progress();
     });
@@ -371,7 +371,7 @@ void HostPipelineTransport::on_chunk(Ctx& ctx, CtrlMsg& msg,
   Runtime& rt = rt_;
   auto done = st->done;
   const int requester = st->requester;
-  rt_.verbs().post_send(worker, ctx.my_pe(), requester, 0,
+  rt_.ib().post_send(worker, ctx.my_pe(), requester, 0,
                         [done, &rt, requester] {
                           done->fire();
                           rt.notify_pe(requester);
@@ -396,7 +396,7 @@ void HostPipelineTransport::remote_request_get(Ctx& ctx, const RmaOp& op) {
     req.remote = op.remote;
     req.bytes = op.bytes;
     req.state = done;
-    rt_.verbs().post_send(ctx.proc(), me, target, 32, [&rt, target, req] {
+    rt_.ib().post_send(ctx.proc(), me, target, 32, [&rt, target, req] {
       rt.ctx(target).rx().post(req);
       rt.ctx(target).notify_progress();
     });
@@ -424,7 +424,7 @@ void HostPipelineTransport::remote_request_get(Ctx& ctx, const RmaOp& op) {
   req.remote = op.remote; // source range at the target
   req.bytes = op.bytes;
   req.state = st;
-  rt_.verbs().post_send(ctx.proc(), me, target, 32, [&rt, target, req] {
+  rt_.ib().post_send(ctx.proc(), me, target, 32, [&rt, target, req] {
     rt.ctx(target).rx().post(req);
     rt.ctx(target).notify_progress();
   });
@@ -460,7 +460,7 @@ void HostPipelineTransport::on_get_req(Ctx& ctx, CtrlMsg& msg,
       buf = src_bytes + off;
     }
     auto data_post = [this, &worker, me, buf, requester, st, off, c] {
-      return rt_.verbs().rdma_write(worker, me, buf, requester,
+      return rt_.ib().rdma_write(worker, me, buf, requester,
                                     st->staging + off, c);
     };
     if (rt_.faults_enabled()) {
@@ -479,7 +479,7 @@ void HostPipelineTransport::on_get_req(Ctx& ctx, CtrlMsg& msg,
     chunk_msg.offset = off;
     chunk_msg.is_reply = true;
     chunk_msg.state = st;
-    rt_.verbs().post_send(worker, me, requester, 0, [&rt, requester, chunk_msg] {
+    rt_.ib().post_send(worker, me, requester, 0, [&rt, requester, chunk_msg] {
       rt.ctx(requester).rx().post(chunk_msg);
       rt.ctx(requester).notify_progress();
     });

@@ -244,6 +244,22 @@ RuntimeOptions RuntimeOptions::from_env() {
           opts.tuning.coll_force[static_cast<std::size_t>(kind)] = algo;
         }
       }
+    } else if (key == "GDRSHMEM_IB_TRANSPORT") {
+      if (value == "rc") {
+        opts.ib_transport = ib::QpKind::kRc;
+      } else if (value == "ud") {
+        opts.ib_transport = ib::QpKind::kUd;
+      } else if (value == "dc") {
+        opts.ib_transport = ib::QpKind::kDc;
+      } else {
+        bad(key, "expected rc | ud | dc, got \"" + value + "\"");
+      }
+    } else if (key == "GDRSHMEM_IB_RAILS") {
+      long long v = env_int(key, value);
+      if (v != 1 && v != 2) bad(key, "expected 1 or 2 (HCA rails per node)");
+      opts.ib_rails = static_cast<int>(v);
+    } else if (key == "GDRSHMEM_IB_SRQ") {
+      opts.ib_srq = env_bool(key, value);
     } else if (key == "GDRSHMEM_DEVICE_BACKEND") {
       if (value == "gpu-ib") {
         opts.device_backend = DeviceBackendKind::kGpuIb;
@@ -282,8 +298,8 @@ RuntimeOptions RuntimeOptions::from_env() {
           "LOOPBACK_GDR_READ_LIMIT, DIRECT_GDR_WRITE_LIMIT, "
           "DIRECT_GDR_READ_LIMIT, INTER_SOCKET_GDR_DIVISOR, COLL_ALGO, "
           "COLL_CHUNK, MAX_SW_REPLAYS, REPLAY_BACKOFF_US, PROXY_TIMEOUT_US, "
-          "PROXY_MAX_REISSUES, DEVICE_BACKEND, DEVICE_QUEUE_DEPTH, FAULTS, "
-          "TRACE, TRACE_CAP)");
+          "PROXY_MAX_REISSUES, DEVICE_BACKEND, DEVICE_QUEUE_DEPTH, "
+          "IB_TRANSPORT, IB_RAILS, IB_SRQ, FAULTS, TRACE, TRACE_CAP)");
     }
   }
   return opts;

@@ -129,7 +129,7 @@ void ProxyDaemon::do_get(sim::Process& self, CtrlMsg& msg) {
     }
     rt_.cuda().memcpy_sync(self, staging_.data() + s * chunk, src + off, c);
     auto post = [this, &self, requester, s, chunk, dst, off, c] {
-      return rt_.verbs().rdma_write(self, endpoint(),
+      return rt_.ib().rdma_write(self, endpoint(),
                                     staging_.data() + s * chunk, requester,
                                     dst + off, c);
     };
@@ -149,7 +149,7 @@ void ProxyDaemon::do_get(sim::Process& self, CtrlMsg& msg) {
     if (slot_comp[last_slot]) slot_comp[last_slot]->wait(self);
   }
   Runtime& rt = rt_;
-  rt_.verbs().post_send(self, endpoint(), requester, 0, [st, &rt, requester] {
+  rt_.ib().post_send(self, endpoint(), requester, 0, [st, &rt, requester] {
     st->done->fire();
     rt.notify_pe(requester);
   });
@@ -166,7 +166,7 @@ void ProxyDaemon::do_put(sim::Process& self, CtrlMsg& req) {
   rt_.metrics()
       .gauge("proxy/staging_used_bytes")
       .set(std::min(window, req.bytes));
-  rt_.verbs().post_send(self, endpoint(), requester, 16,
+  rt_.ib().post_send(self, endpoint(), requester, 16,
                         [st, this, &rt, requester, window] {
                           st->staging = staging_.data();
                           st->window = window;
@@ -205,7 +205,7 @@ void ProxyDaemon::do_put(sim::Process& self, CtrlMsg& req) {
     ++st->windows_done;
     rt_.notify_pe(requester);
   }
-  rt_.verbs().post_send(self, endpoint(), requester, 0, [st, &rt, requester] {
+  rt_.ib().post_send(self, endpoint(), requester, 0, [st, &rt, requester] {
     st->done->fire();
     rt.notify_pe(requester);
   });
@@ -231,11 +231,11 @@ void ProxyDaemon::do_device_cmd(sim::Process& self, CtrlMsg& msg) {
       std::uint64_t* result = cmd->amo_result.get();
       auto post = [this, &self, cmd, result] {
         if (cmd->op == DeviceCmd::Op::kAmoFadd) {
-          return rt_.verbs().atomic_fadd64(self, endpoint(),
+          return rt_.ib().atomic_fadd64(self, endpoint(),
                                            cmd->rma.target_pe, cmd->amo_word,
                                            cmd->amo_a, result);
         }
-        return rt_.verbs().atomic_cswap64(self, endpoint(), cmd->rma.target_pe,
+        return rt_.ib().atomic_cswap64(self, endpoint(), cmd->rma.target_pe,
                                           cmd->amo_word, cmd->amo_a,
                                           cmd->amo_b, result);
       };
@@ -270,10 +270,10 @@ void ProxyDaemon::do_device_cmd(sim::Process& self, CtrlMsg& msg) {
             dev_leg ? Protocol::kDirectGdr : Protocol::kDirectRdma, op.bytes);
         auto post = [this, &self, requester, &op, is_get] {
           if (is_get) {
-            return rt_.verbs().rdma_read(self, requester, op.local,
+            return rt_.ib().rdma_read(self, requester, op.local,
                                          op.target_pe, op.remote, op.bytes);
           }
-          return rt_.verbs().rdma_write(self, requester, op.local,
+          return rt_.ib().rdma_write(self, requester, op.local,
                                         op.target_pe, op.remote, op.bytes);
         };
         auto comp = post();
@@ -293,7 +293,7 @@ void ProxyDaemon::do_device_cmd(sim::Process& self, CtrlMsg& msg) {
   // Completion notification: the CQ entry (or ring status word) the kernel
   // polls. Fires even for commands the requester already reissued — the
   // stale `done` is simply never looked at again.
-  rt_.verbs().post_send(self, endpoint(), requester, 0, [cmd, &rt, requester] {
+  rt_.ib().post_send(self, endpoint(), requester, 0, [cmd, &rt, requester] {
     cmd->done->fire();
     rt.notify_pe(requester);
   });
@@ -329,7 +329,7 @@ void ProxyDaemon::staged_device_put(sim::Process& self, Ctx& rctx,
     }
     rt_.cuda().memcpy_sync(self, staging_.data() + s * chunk, src + off, c);
     auto post = [this, &self, s, chunk, target = op.target_pe, dst, off, c] {
-      return rt_.verbs().rdma_write(self, endpoint(),
+      return rt_.ib().rdma_write(self, endpoint(),
                                     staging_.data() + s * chunk, target,
                                     dst + off, c);
     };
@@ -366,7 +366,7 @@ void ProxyDaemon::staged_device_get(sim::Process& self, Ctx& rctx,
   for (std::size_t off = 0; off < op.bytes; off += chunk) {
     std::size_t c = std::min(chunk, op.bytes - off);
     auto post = [this, &self, target = op.target_pe, src, off, c] {
-      return rt_.verbs().rdma_read(self, endpoint(), staging_.data(), target,
+      return rt_.ib().rdma_read(self, endpoint(), staging_.data(), target,
                                    src + off, c);
     };
     auto comp = post();

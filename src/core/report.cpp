@@ -29,7 +29,11 @@ std::string format_report(Runtime& rt) {
        << st.bytes_by_protocol[i] << '\n';
   }
   os << "registration cache: " << rt.verbs().reg_cache().hits() << " hits, "
-     << rt.verbs().reg_cache().misses() << " misses\n";
+     << rt.verbs().reg_cache().misses() << " misses, "
+     << rt.verbs().reg_cache().evictions() << " evictions (cap "
+     << rt.verbs().reg_cache().capacity() << ")\n";
+  os << "ib transport: " << rt.ib().name() << ", " << rt.ib().rails()
+     << " rail(s)\n";
   if (rt.proxies_enabled()) {
     std::uint64_t gets = 0, puts = 0;
     for (int n = 0; n < rt.cluster().num_nodes(); ++n) {
@@ -97,6 +101,11 @@ std::string format_report_json(Runtime& rt) {
   w.key("reg_cache").begin_object();
   w.field("hits", rt.verbs().reg_cache().hits());
   w.field("misses", rt.verbs().reg_cache().misses());
+  w.field("evictions", rt.verbs().reg_cache().evictions());
+  w.end_object();
+  w.key("ib").begin_object();
+  w.field("transport", rt.ib().name());
+  w.field("rails", rt.ib().rails());
   w.end_object();
   if (rt.proxies_enabled()) {
     std::uint64_t gets = 0, puts = 0, restarts = 0;

@@ -23,6 +23,10 @@ Runtime::Runtime(const hw::ClusterConfig& cluster_cfg, const RuntimeOptions& opt
   if (opts_.trace) tracer_.enable();
   tracer_.set_capacity(opts_.trace_cap);
 
+  ib_ = ib::make_transport(
+      verbs_, ib::TransportConfig{opts_.ib_transport, opts_.ib_rails,
+                                  opts_.ib_srq});
+
   verbs_.set_fault_injector(&injector_);
   // Mirror fault/recovery events into the metrics registry and — when
   // enabled — the operation tracer.
@@ -211,7 +215,17 @@ void Runtime::notify_pe(int pe) { ctx(pe).notify_progress(); }
 void Runtime::snapshot_metrics() {
   metrics_.counter("reg_cache/hits").set(verbs_.reg_cache().hits());
   metrics_.counter("reg_cache/misses").set(verbs_.reg_cache().misses());
+  metrics_.counter("reg_cache/evictions").set(verbs_.reg_cache().evictions());
   metrics_.counter("ib/ops_posted").set(verbs_.ops_posted());
+  // Transport-layer diagnostics: the modeled per-endpoint QP footprint (for
+  // the mesh the job would form) plus the per-kind activity counters.
+  const int endpoints = num_pes() + cluster_.num_nodes();
+  ib::QpFootprint fp = ib_->footprint(endpoints);
+  metrics_.gauge("ib/qps_per_endpoint").set(fp.qps);
+  metrics_.gauge("ib/qp_mem_bytes_per_endpoint").set(fp.total_bytes());
+  metrics_.counter("ib/dc_reconnects").set(ib_->dc_reconnects());
+  metrics_.counter("ib/ud_packets").set(ib_->ud_packets());
+  metrics_.counter("ib/striped_ops").set(ib_->striped_ops());
   if (proxies_enabled()) {
     std::uint64_t gets = 0, puts = 0, device_cmds = 0, restarts = 0;
     for (const auto& p : proxies_) {

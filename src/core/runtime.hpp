@@ -19,6 +19,7 @@
 #include "core/types.hpp"
 #include "cudart/cudart.hpp"
 #include "hw/topology.hpp"
+#include "ib/transport.hpp"
 #include "ib/verbs.hpp"
 #include "sim/engine.hpp"
 #include "sim/fault.hpp"
@@ -70,6 +71,18 @@ struct RuntimeOptions {
   /// Outstanding command descriptors the reverse-offload ring holds per PE
   /// before the kernel blocks on a free slot (GDRSHMEM_DEVICE_QUEUE_DEPTH).
   std::size_t device_queue_depth = 64;
+  /// Queue-pair transport behind the ib::Transport endpoint API
+  /// (GDRSHMEM_IB_TRANSPORT=rc|ud|dc; rc by default). All three land
+  /// identical application bytes per seed; they differ in modeled cost and
+  /// per-QP memory, so CI A/Bs suites across values.
+  ib::QpKind ib_transport = ib::qp_kind_from_env();
+  /// HCA rails large messages stripe across (GDRSHMEM_IB_RAILS=1|2; 1 by
+  /// default — the bit-identical legacy schedule).
+  int ib_rails = ib::rails_from_env();
+  /// Model an RC shared receive queue instead of per-QP recv rings
+  /// (GDRSHMEM_IB_SRQ; footprint-only — never changes timing). UD and DC
+  /// always use the SRQ.
+  bool ib_srq = false;
 
   /// Build options from the environment: parses and validates every
   /// GDRSHMEM_* variable (backend, heap sizes, transport, tuning
@@ -117,7 +130,14 @@ class Runtime {
   sim::Engine& engine() { return engine_; }
   hw::Cluster& cluster() { return cluster_; }
   cudart::CudaRuntime& cuda() { return cuda_; }
+  /// The low-level verbs engine (registration cache, op diagnostics).
+  /// Protocol code posts operations through ib() / endpoint(), not here.
   ib::Verbs& verbs() { return verbs_; }
+  /// The selected queue-pair transport (rc | ud | dc) behind the endpoint
+  /// API; every RDMA/send/atomic the runtime issues routes through it.
+  ib::Transport& ib() { return *ib_; }
+  /// Per-endpoint handle binding the source id (PEs and service endpoints).
+  ib::Endpoint& endpoint(int id) { return ib_->endpoint(id); }
   const RuntimeOptions& options() const { return opts_; }
   const Tuning& tuning() const { return opts_.tuning; }
   Transport& transport() { return *transport_; }
@@ -189,6 +209,7 @@ class Runtime {
   hw::Cluster cluster_;
   cudart::CudaRuntime cuda_;
   ib::Verbs verbs_;
+  std::unique_ptr<ib::Transport> ib_;
   sim::FaultInjector injector_;
   OpStats stats_;
   Tracer tracer_;

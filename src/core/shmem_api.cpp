@@ -1,7 +1,7 @@
 // This file implements the deprecated classic spellings too.
 #define GDRSHMEM_NO_DEPRECATE
 
-#include "core/shmem_api.hpp"
+#include "gdrshmem/shmem.h"
 
 #include <cstring>
 #include <vector>
@@ -40,6 +40,23 @@ core::Ctx& current() {
 
 int shmem_my_pe() { return current().my_pe(); }
 int shmem_n_pes() { return current().n_pes(); }
+
+void shmem_info_get_version(int* major, int* minor) {
+  if (major != nullptr) *major = SHMEM_MAJOR_VERSION;
+  if (minor != nullptr) *minor = SHMEM_MINOR_VERSION;
+}
+
+void shmem_info_get_name(char* name) {
+  if (name == nullptr) return;
+  std::strncpy(name, SHMEM_VENDOR_STRING, SHMEM_MAX_NAME_LEN - 1);
+  name[SHMEM_MAX_NAME_LEN - 1] = '\0';
+}
+
+const char* shmemx_transport_name() {
+  return current().runtime().ib().name();
+}
+
+int shmemx_rail_count() { return current().runtime().ib().rails(); }
 
 void* shmem_malloc(std::size_t size) {
   return current().shmalloc(size, core::Domain::kHost);

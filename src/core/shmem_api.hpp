@@ -1,7 +1,12 @@
-// Compatibility shim: the public C API moved to the installed, versioned
-// header <gdrshmem/shmem.h> (with the device-initiated surface in
-// <gdrshmem/shmem_device.h>). Existing in-tree includes keep working;
-// prefer the installed headers in new code.
+// Deprecated compatibility shim: the public C API lives in the installed,
+// versioned header <gdrshmem/shmem.h> (device-initiated surface in
+// <gdrshmem/shmem_device.h>). This forward will be removed; update includes.
+// Define GDRSHMEM_NO_DEPRECATE to silence the warning during migration.
 #pragma once
+
+#if !defined(GDRSHMEM_NO_DEPRECATE)
+#warning \
+    "core/shmem_api.hpp is deprecated: include <gdrshmem/shmem.h> instead"
+#endif
 
 #include "gdrshmem/shmem.h"

@@ -38,8 +38,8 @@ inline void rdma_put(Ctx& ctx, const RmaOp& op, Protocol proto) {
   ctx.count_protocol(proto, op.bytes);
   if (rt.faults_enabled()) {
     auto repost = [&ctx, &rt, op]() {
-      return rt.verbs().rdma_write(ctx.proc(), ctx.my_pe(), op.local,
-                                   op.target_pe, op.remote, op.bytes);
+      return rt.endpoint(ctx.my_pe())
+          .rdma_write(ctx.proc(), op.local, op.target_pe, op.remote, op.bytes);
     };
     auto comp = repost();
     if (op.blocking) {
@@ -55,14 +55,16 @@ inline void rdma_put(Ctx& ctx, const RmaOp& op, Protocol proto) {
   if (use_inline) {
     auto [slot, comp_entry] = ctx.inline_slot();
     std::memcpy(slot, op.local, op.bytes);
-    auto comp = rt.verbs().rdma_write(ctx.proc(), ctx.my_pe(), slot,
-                                      op.target_pe, op.remote, op.bytes);
+    auto comp = rt.endpoint(ctx.my_pe())
+                    .rdma_write(ctx.proc(), slot, op.target_pe, op.remote,
+                                op.bytes);
     *comp_entry = comp;
     ctx.track(std::move(comp));
     return;
   }
-  auto comp = rt.verbs().rdma_write(ctx.proc(), ctx.my_pe(), op.local,
-                                    op.target_pe, op.remote, op.bytes);
+  auto comp = rt.endpoint(ctx.my_pe())
+                  .rdma_write(ctx.proc(), op.local, op.target_pe, op.remote,
+                              op.bytes);
   ctx.track(comp);
   if (op.blocking) comp->wait(ctx.proc());
 }
@@ -74,8 +76,8 @@ inline void rdma_get(Ctx& ctx, const RmaOp& op, Protocol proto) {
   ctx.count_protocol(proto, op.bytes);
   if (rt.faults_enabled()) {
     auto repost = [&ctx, &rt, op]() {
-      return rt.verbs().rdma_read(ctx.proc(), ctx.my_pe(), op.local,
-                                  op.target_pe, op.remote, op.bytes);
+      return rt.endpoint(ctx.my_pe())
+          .rdma_read(ctx.proc(), op.local, op.target_pe, op.remote, op.bytes);
     };
     auto comp = repost();
     if (op.blocking) {
@@ -86,8 +88,9 @@ inline void rdma_get(Ctx& ctx, const RmaOp& op, Protocol proto) {
     }
     return;
   }
-  auto comp = rt.verbs().rdma_read(ctx.proc(), ctx.my_pe(), op.local,
-                                   op.target_pe, op.remote, op.bytes);
+  auto comp = rt.endpoint(ctx.my_pe())
+                  .rdma_read(ctx.proc(), op.local, op.target_pe, op.remote,
+                             op.bytes);
   ctx.track(comp);
   if (op.blocking) comp->wait(ctx.proc());
 }

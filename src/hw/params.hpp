@@ -83,6 +83,44 @@ struct SystemParams {
   // ---- Memory registration ----------------------------------------------
   double mr_register_base_us = 55.0;
   double mr_register_per_mb_us = 90.0;
+  /// Dynamically registered ranges the registration cache retains per PE
+  /// before evicting the least-recently-used one (init-time registrations —
+  /// heaps, eager slots, staging pools — are pinned and never evicted).
+  /// 0 disables the bound (the pre-bounded unbounded behavior).
+  std::size_t mr_cache_capacity = 128;
+
+  // ---- Queue-pair transports (RC / UD / DC, SRQ, multi-rail) --------------
+  // Connection-state model behind the ib::Transport endpoint API. The RC
+  // mesh needs one QP per peer per PE, so its HCA-resident context set
+  // outgrows the adapter's on-die QP cache at scale; UD needs one datagram
+  // QP total; DC needs a small initiator pool plus one target (DCT).
+  /// QP contexts the HCA caches on-die before it must fetch them from host
+  /// memory (ConnectX-3-era ICM cache, in entries).
+  int hca_qp_cache_entries = 2048;
+  /// Extra per-op cost when the working set of connected QPs overflows the
+  /// on-die cache (context fetch over PCIe), scaled by the overflow ratio.
+  double hca_qp_cache_miss_us = 1.2;
+  /// Host/HCA memory pinned per QP: the context itself plus the send ring.
+  std::size_t ib_qp_context_bytes = 320;
+  std::size_t ib_qp_ring_bytes = 8192;
+  /// Per-QP receive buffering when each QP posts its own receives.
+  std::size_t ib_recv_ring_bytes = 16384;
+  /// One shared receive queue per endpoint (replaces per-QP recv rings for
+  /// UD/DC, optional for RC).
+  std::size_t ib_srq_bytes = 262144;
+  /// UD datagram payload limit (one MTU; larger sends are rejected, RMA is
+  /// segmented in software).
+  std::size_t ud_mtu_bytes = 4096;
+  /// Per-datagram software/header cost the UD path pays on top of the wire
+  /// (header build + SRQ consume at the target).
+  double ud_packet_overhead_us = 0.25;
+  /// DC initiators (DCIs) pooled per endpoint; targeting a peer not among
+  /// the initiators' current targets pays the reconnect handshake below.
+  int dc_initiator_pool = 8;
+  double dc_reconnect_us = 0.4;
+  /// Messages at or above this size stripe across both rails (HCAs) when
+  /// GDRSHMEM_IB_RAILS=2.
+  std::size_t rail_stripe_min_bytes = 256 * 1024;
 
   // ---- Host-side software -----------------------------------------------
   /// Shared-memory (process-to-process, same node) copy bandwidth.

@@ -17,31 +17,63 @@ using sim::Time;
 // ---------------------------------------------------------------------------
 // RegistrationCache
 
-bool RegistrationCache::covered(int pe, const void* addr, std::size_t len) const {
+RegistrationCache::Entry* RegistrationCache::find(int pe, const void* addr,
+                                                  std::size_t len) {
   auto pit = ranges_.find(pe);
-  if (pit == ranges_.end()) return false;
+  if (pit == ranges_.end()) return nullptr;
   auto key = reinterpret_cast<std::uintptr_t>(addr);
-  auto it = pit->second.upper_bound(key);
-  if (it == pit->second.begin()) return false;
+  auto it = pit->second.ranges.upper_bound(key);
+  if (it == pit->second.ranges.begin()) return nullptr;
   --it;
-  return key >= it->first && key + len <= it->first + it->second;
+  if (key >= it->first && key + len <= it->first + it->second.len) {
+    return &it->second;
+  }
+  return nullptr;
+}
+
+const RegistrationCache::Entry* RegistrationCache::find(int pe, const void* addr,
+                                                        std::size_t len) const {
+  return const_cast<RegistrationCache*>(this)->find(pe, addr, len);
+}
+
+bool RegistrationCache::covered(int pe, const void* addr, std::size_t len) const {
+  return find(pe, addr, len) != nullptr;
 }
 
 void RegistrationCache::register_at_init(int pe, const void* addr, std::size_t len) {
-  ranges_[pe][reinterpret_cast<std::uintptr_t>(addr)] = len;
+  PeRanges& pr = ranges_[pe];
+  auto [it, inserted] = pr.ranges.try_emplace(reinterpret_cast<std::uintptr_t>(addr));
+  Entry& e = it->second;
+  if (!inserted && !e.pinned) pr.lru.erase(e.lru_pos);  // promote dynamic -> pinned
+  e.len = len;
+  e.pinned = true;
 }
 
 void RegistrationCache::get_or_register(sim::Process& proc, int pe,
                                         const void* addr, std::size_t len) {
-  if (covered(pe, addr, len)) {
+  PeRanges& pr = ranges_[pe];
+  if (Entry* e = find(pe, addr, len)) {
     ++hits_;
+    if (!e->pinned) {
+      // LRU bump: move the containing range to the most-recent end.
+      pr.lru.splice(pr.lru.end(), pr.lru, e->lru_pos);
+    }
     return;
   }
   ++misses_;
   double mb = static_cast<double>(len) / 1e6;
   proc.delay(Duration::us(params_.mr_register_base_us +
                           params_.mr_register_per_mb_us * mb));
-  register_at_init(pe, addr, len);
+  auto key = reinterpret_cast<std::uintptr_t>(addr);
+  Entry& e = pr.ranges[key];
+  e.len = len;
+  e.pinned = false;
+  e.lru_pos = pr.lru.insert(pr.lru.end(), key);
+  while (capacity_ != 0 && pr.lru.size() > capacity_) {
+    pr.ranges.erase(pr.lru.front());
+    pr.lru.pop_front();
+    ++evictions_;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -51,16 +83,17 @@ Verbs::Verbs(sim::Engine& eng, hw::Cluster& cluster, cudart::CudaRuntime& cuda)
     : eng_(eng), cluster_(cluster), cuda_(cuda),
       reg_cache_(eng, cluster.params()) {}
 
-Path Verbs::local_leg(int pe, const void* buf, hw::P2pDir dir) {
+Path Verbs::local_leg(int pe, const void* buf, hw::P2pDir dir, int hca) {
   hw::PePlacement pl = cluster_.placement(pe);
+  if (hca < 0) hca = pl.hca;
   cudart::PtrAttr a = cuda_.attributes(buf);
   if (a.space == MemSpace::kDevice) {
     if (a.node != pl.node) {
       throw IbError("buffer is device memory on a different node than its PE");
     }
-    return cluster_.gdr_leg(pl.node, pl.hca, a.device, dir);
+    return cluster_.gdr_leg(pl.node, hca, a.device, dir);
   }
-  return cluster_.hca_host(pl.node, pl.hca);
+  return cluster_.hca_host(pl.node, hca);
 }
 
 void Verbs::pre_post(sim::Process& proc, int dst_pe, const void* raddr,
@@ -126,21 +159,24 @@ void Verbs::run_attempts(int src_pe, int dst_pe, bool atomic, bool unlimited,
 }
 
 CompletionPtr Verbs::rdma_write(sim::Process& proc, int src_pe, const void* lbuf,
-                                int dst_pe, void* rbuf, std::size_t n) {
+                                int dst_pe, void* rbuf, std::size_t n,
+                                Rail rail) {
   pre_post(proc, dst_pe, rbuf, n);
   reg_cache_.get_or_register(proc, src_pe, lbuf, n);
   auto comp = std::make_shared<Completion>();
   // The successful transmission, scheduled from the instant it runs. With no
   // fault plan it executes immediately below — the legacy single-shot path.
-  auto transmit = [this, src_pe, lbuf, dst_pe, rbuf, n, comp] {
+  auto transmit = [this, src_pe, lbuf, dst_pe, rbuf, n, rail, comp] {
     hw::PePlacement src = cluster_.placement(src_pe);
     hw::PePlacement dst = cluster_.placement(dst_pe);
+    int shca = rail.src_hca >= 0 ? rail.src_hca : src.hca;
+    int dhca = rail.dst_hca >= 0 ? rail.dst_hca : dst.hca;
     // Source HCA *reads* the local buffer, target side *writes* the remote
     // one.
     Path path =
-        sim::combine({local_leg(src_pe, lbuf, hw::P2pDir::kRead),
-                      cluster_.wire(src.node, src.hca, dst.node, dst.hca),
-                      local_leg(dst_pe, rbuf, hw::P2pDir::kWrite)});
+        sim::combine({local_leg(src_pe, lbuf, hw::P2pDir::kRead, shca),
+                      cluster_.wire(src.node, shca, dst.node, dhca),
+                      local_leg(dst_pe, rbuf, hw::P2pDir::kWrite, dhca)});
     Time data_at_target = path.schedule(eng_.now(), n);
     eng_.schedule_at(data_at_target, [this, dst_pe, lbuf, rbuf, n] {
       std::memcpy(rbuf, lbuf, n);
@@ -162,21 +198,24 @@ CompletionPtr Verbs::rdma_write(sim::Process& proc, int src_pe, const void* lbuf
 }
 
 CompletionPtr Verbs::rdma_read(sim::Process& proc, int src_pe, void* lbuf,
-                               int dst_pe, const void* rbuf, std::size_t n) {
+                               int dst_pe, const void* rbuf, std::size_t n,
+                               Rail rail) {
   pre_post(proc, dst_pe, rbuf, n);
   reg_cache_.get_or_register(proc, src_pe, lbuf, n);
   auto comp = std::make_shared<Completion>();
-  auto transmit = [this, src_pe, lbuf, dst_pe, rbuf, n, comp] {
+  auto transmit = [this, src_pe, lbuf, dst_pe, rbuf, n, rail, comp] {
     hw::PePlacement src = cluster_.placement(src_pe);
     hw::PePlacement dst = cluster_.placement(dst_pe);
+    int shca = rail.src_hca >= 0 ? rail.src_hca : src.hca;
+    int dhca = rail.dst_hca >= 0 ? rail.dst_hca : dst.hca;
     // Request travels to the target, then data streams back: target side
     // reads its memory (GDR read if on GPU), initiator side writes into
     // lbuf.
-    Path request = cluster_.wire(src.node, src.hca, dst.node, dst.hca);
+    Path request = cluster_.wire(src.node, shca, dst.node, dhca);
     Path back =
-        sim::combine({local_leg(dst_pe, rbuf, hw::P2pDir::kRead),
-                      cluster_.wire(dst.node, dst.hca, src.node, src.hca),
-                      local_leg(src_pe, lbuf, hw::P2pDir::kWrite)});
+        sim::combine({local_leg(dst_pe, rbuf, hw::P2pDir::kRead, dhca),
+                      cluster_.wire(dst.node, dhca, src.node, shca),
+                      local_leg(src_pe, lbuf, hw::P2pDir::kWrite, shca)});
     Time request_at_target = request.schedule(eng_.now(), 0);
     Time data_local = back.schedule(request_at_target, n);
     eng_.schedule_at(data_local, [this, comp, src_pe, lbuf, rbuf, n] {

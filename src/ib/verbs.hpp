@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <stdexcept>
 
@@ -27,31 +28,67 @@ class IbError : public std::runtime_error {
 };
 
 /// Tracks, per PE, which address ranges are registered with the HCA, and
-/// makes re-registration free (MVAPICH2-X registration cache).
+/// makes re-registration free (MVAPICH2-X registration cache). Bounded:
+/// dynamically registered ranges are kept in per-PE LRU order and evicted
+/// beyond SystemParams::mr_cache_capacity; init-time registrations (heaps,
+/// eager slots, staging pools — anything a remote rkey check must always
+/// pass for) are pinned and never counted against the bound.
 class RegistrationCache {
  public:
   RegistrationCache(sim::Engine& eng, const hw::SystemParams& params)
-      : eng_(eng), params_(params) {}
+      : eng_(eng), params_(params), capacity_(params.mr_cache_capacity) {}
 
   /// Ensure [addr, addr+len) is registered for `pe`, charging the calling
-  /// process the registration cost on a miss.
+  /// process the registration cost on a miss (a re-registration after an
+  /// LRU eviction pays it again).
   void get_or_register(sim::Process& proc, int pe, const void* addr,
                        std::size_t len);
   /// Register without a calling process (used at init before PEs run);
   /// charges nothing — init-time registration cost is charged by the caller.
+  /// Pinned: never evicted.
   void register_at_init(int pe, const void* addr, std::size_t len);
   bool covered(int pe, const void* addr, std::size_t len) const;
 
+  /// Dynamic (unpinned) ranges retained per PE; 0 = unbounded.
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+  std::size_t capacity() const { return capacity_; }
+
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
 
  private:
+  struct Entry {
+    std::size_t len = 0;
+    bool pinned = false;
+    // Position in the owning PE's LRU list (dynamic entries only).
+    std::list<std::uintptr_t>::iterator lru_pos;
+  };
+  struct PeRanges {
+    // range start -> entry; ranges are non-overlapping.
+    std::map<std::uintptr_t, Entry> ranges;
+    // Dynamic entries, least recently used first.
+    std::list<std::uintptr_t> lru;
+  };
+
+  /// The registered range containing [addr, addr+len), or nullptr.
+  Entry* find(int pe, const void* addr, std::size_t len);
+  const Entry* find(int pe, const void* addr, std::size_t len) const;
+
   sim::Engine& eng_;
   const hw::SystemParams& params_;
-  // pe -> (range start -> length); ranges are non-overlapping.
-  std::map<int, std::map<std::uintptr_t, std::size_t>> ranges_;
+  std::size_t capacity_;
+  std::map<int, PeRanges> ranges_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+/// Rail override for multi-HCA striping: which HCA index each side's leg
+/// uses. -1 keeps the PE's placement default.
+struct Rail {
+  int src_hca = -1;
+  int dst_hca = -1;
 };
 
 /// The verbs provider shared by all PEs of a simulated job.
@@ -85,14 +122,17 @@ class Verbs {
   /// returned completion fires when the hardware ACK lands (the source
   /// buffer is then reusable and the data is visible at the target).
   /// Works for any host/GPU buffer combination; GPU legs go through GDR.
+  /// `rail` pins each side's HCA for multi-rail striping (placement default
+  /// otherwise).
   sim::CompletionPtr rdma_write(sim::Process& proc, int src_pe,
                                 const void* lbuf, int dst_pe, void* rbuf,
-                                std::size_t n);
+                                std::size_t n, Rail rail = {});
 
   /// One-sided RDMA read of `n` bytes from `dst_pe`'s `rbuf` into
   /// `src_pe`-local `lbuf`. Completion fires when the data is in `lbuf`.
   sim::CompletionPtr rdma_read(sim::Process& proc, int src_pe, void* lbuf,
-                               int dst_pe, const void* rbuf, std::size_t n);
+                               int dst_pe, const void* rbuf, std::size_t n,
+                               Rail rail = {});
 
   /// Two-sided send of a control message: `deliver` runs at the target at
   /// arrival time (the caller wires it to a mailbox). `n` models payload
@@ -117,7 +157,9 @@ class Verbs {
 
  private:
   /// The HCA-side DMA leg for a buffer: host DMA or a GDR P2P access.
-  sim::Path local_leg(int pe, const void* buf, hw::P2pDir dir);
+  /// `hca` = -1 uses the PE's placement HCA; a rail override selects the
+  /// node's other adapter.
+  sim::Path local_leg(int pe, const void* buf, hw::P2pDir dir, int hca = -1);
   /// Charge post overhead + validate remote registration.
   void pre_post(sim::Process& proc, int dst_pe, const void* raddr, std::size_t n);
   sim::Duration ack_latency(int src_pe, int dst_pe) const;

@@ -2,7 +2,10 @@
 // of a CQ entry / future.
 #pragma once
 
+#include <functional>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "sim/engine.hpp"
 
@@ -23,6 +26,7 @@ class Completion {
   void fire() {
     fired_ = true;
     done_.notify();
+    run_subscribers();
   }
 
   /// Mark complete *with error* and wake waiters. Waiters must check
@@ -31,6 +35,7 @@ class Completion {
     ok_ = false;
     fired_ = true;
     done_.notify();
+    run_subscribers();
   }
 
   /// Block the calling process until fire() or fire_error(); check failed()
@@ -39,10 +44,30 @@ class Completion {
     proc.await_until(done_, [this] { return fired_; });
   }
 
+  /// Run `fn` (in event context) when this completion fires, in either
+  /// state; runs immediately if it already fired. Used to compose multi-part
+  /// hardware operations (rail stripes, datagram segments) into one CQ-level
+  /// completion without spawning a waiter process.
+  void subscribe(std::function<void()> fn) {
+    if (fired_) {
+      fn();
+      return;
+    }
+    subscribers_.push_back(std::move(fn));
+  }
+
  private:
+  void run_subscribers() {
+    // Move out first: a subscriber may (transitively) subscribe again.
+    std::vector<std::function<void()>> subs = std::move(subscribers_);
+    subscribers_.clear();
+    for (auto& fn : subs) fn();
+  }
+
   bool fired_ = false;
   bool ok_ = true;
   Notification done_;
+  std::vector<std::function<void()>> subscribers_;
 };
 
 using CompletionPtr = std::shared_ptr<Completion>;
@@ -52,6 +77,32 @@ inline CompletionPtr fire_at(Engine& eng, Time at) {
   auto c = std::make_shared<Completion>();
   eng.schedule_at(at, [c] { c->fire(); });
   return c;
+}
+
+/// One completion that fires when every part has fired — successfully only
+/// if every part succeeded. The parts must eventually fire.
+inline CompletionPtr aggregate(std::vector<CompletionPtr> parts) {
+  auto master = std::make_shared<Completion>();
+  auto pending = std::make_shared<std::size_t>(parts.size());
+  auto any_failed = std::make_shared<bool>(false);
+  if (parts.empty()) {
+    master->fire();
+    return master;
+  }
+  for (auto& part : parts) {
+    Completion* raw = part.get();
+    part->subscribe([master, pending, any_failed, raw] {
+      if (raw->failed()) *any_failed = true;
+      if (--*pending == 0) {
+        if (*any_failed) {
+          master->fire_error();
+        } else {
+          master->fire();
+        }
+      }
+    });
+  }
+  return master;
 }
 
 }  // namespace gdrshmem::sim

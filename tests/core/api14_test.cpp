@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "core/report.hpp"
-#include "core/shmem_api.hpp"
+#include "gdrshmem/shmem.h"
 #include "test_util.hpp"
 
 namespace gdrshmem {

@@ -5,7 +5,7 @@
 #include <numeric>
 #include <vector>
 
-#include "core/shmem_api.hpp"
+#include "gdrshmem/shmem.h"
 #include "test_util.hpp"
 
 namespace gdrshmem::core {

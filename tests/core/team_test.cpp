@@ -6,7 +6,7 @@
 #include <cstring>
 #include <vector>
 
-#include "core/shmem_api.hpp"
+#include "gdrshmem/shmem.h"
 #include "test_util.hpp"
 
 namespace gdrshmem::core {
