@@ -85,8 +85,11 @@ double message_rate_mmps(QpKind kind, int nodes) {
 }
 
 /// Bandwidth (GB/s of virtual time) of one inter-node host write.
-double bandwidth_gbps(int rails, std::size_t n, double* out_us = nullptr) {
-  Fixture f(TransportConfig{QpKind::kRc, rails, false}, 2, 2);
+double bandwidth_gbps(QpKind kind, int rails, std::size_t n,
+                      double* out_us = nullptr,
+                      std::uint64_t* out_segments = nullptr,
+                      std::uint64_t* out_ooo = nullptr) {
+  Fixture f(TransportConfig{kind, rails, kind != QpKind::kRc}, 2, 2);
   std::vector<std::byte> src(n), dst(n);
   f.verbs.reg_cache().register_at_init(0, src.data(), n);
   f.verbs.reg_cache().register_at_init(2, dst.data(), n);
@@ -99,6 +102,8 @@ double bandwidth_gbps(int rails, std::size_t n, double* out_us = nullptr) {
   });
   f.eng.run();
   if (out_us != nullptr) *out_us = us;
+  if (out_segments != nullptr) *out_segments = f.transport->srd_segments();
+  if (out_ooo != nullptr) *out_ooo = f.transport->srd_ooo_deliveries();
   return static_cast<double>(n) / (us * 1e3);
 }
 
@@ -109,25 +114,29 @@ int main(int argc, char** argv) {
 
   // ---- per-endpoint QP memory vs PE count ---------------------------------
   std::printf("== per-endpoint QP memory (KiB) vs endpoints ==\n");
-  std::printf("%-10s %-12s %-12s %-12s %-14s\n", "endpoints", "rc", "rc+srq",
-              "dc", "ud");
+  std::printf("%-10s %-12s %-12s %-12s %-12s %-14s\n", "endpoints", "rc",
+              "rc+srq", "dc", "ud", "srd");
   Fixture model(TransportConfig{}, 2, 2);
   auto rc_srq = make_transport(model.verbs, TransportConfig{QpKind::kRc, 1, true});
   auto dc = make_transport(model.verbs, TransportConfig{QpKind::kDc, 1, true});
   auto ud = make_transport(model.verbs, TransportConfig{QpKind::kUd, 1, true});
+  auto srd = make_transport(model.verbs, TransportConfig{QpKind::kSrd, 1, true});
   double rc_mem_4k = 0, dc_mem_4k = 0;
   for (int n : {256, 1024, 4096, 16384}) {
     auto frc = model.transport->footprint(n);
     auto fsrq = rc_srq->footprint(n);
     auto fdc = dc->footprint(n);
     auto fud = ud->footprint(n);
-    std::printf("%-10d %-12.1f %-12.1f %-12.1f %-14.1f\n", n,
+    auto fsrd = srd->footprint(n);
+    std::printf("%-10d %-12.1f %-12.1f %-12.1f %-12.1f %-14.1f\n", n,
                 frc.total_bytes() / 1024.0, fsrq.total_bytes() / 1024.0,
-                fdc.total_bytes() / 1024.0, fud.total_bytes() / 1024.0);
+                fdc.total_bytes() / 1024.0, fud.total_bytes() / 1024.0,
+                fsrd.total_bytes() / 1024.0);
     std::string tag = "transports/qp_mem/" + std::to_string(n) + "ep";
     bench::add_metric(tag + "/rc_kib", frc.total_bytes() / 1024.0);
     bench::add_metric(tag + "/dc_kib", fdc.total_bytes() / 1024.0);
     bench::add_metric(tag + "/ud_kib", fud.total_bytes() / 1024.0);
+    bench::add_metric(tag + "/srd_kib", fsrd.total_bytes() / 1024.0);
     if (n == 4096) {
       rc_mem_4k = static_cast<double>(frc.total_bytes());
       dc_mem_4k = static_cast<double>(fdc.total_bytes());
@@ -136,18 +145,22 @@ int main(int argc, char** argv) {
 
   // ---- message rate at scale ----------------------------------------------
   std::printf("\n== 8B message rate over 64 remote targets (Mmsg/s) ==\n");
-  std::printf("%-10s %-12s %-12s %-12s\n", "pes", "rc", "dc", "ud");
+  std::printf("%-10s %-12s %-12s %-12s %-12s\n", "pes", "rc", "dc", "ud",
+              "srd");
   double rc_rate_4k = 0, dc_rate_4k = 0;
   for (int nodes : {128, 2048}) {
     const int pes = nodes * 2;
     double rc = message_rate_mmps(QpKind::kRc, nodes);
     double dcr = message_rate_mmps(QpKind::kDc, nodes);
     double udr = message_rate_mmps(QpKind::kUd, nodes);
-    std::printf("%-10d %-12.3f %-12.3f %-12.3f\n", pes, rc, dcr, udr);
+    double srdr = message_rate_mmps(QpKind::kSrd, nodes);
+    std::printf("%-10d %-12.3f %-12.3f %-12.3f %-12.3f\n", pes, rc, dcr, udr,
+                srdr);
     std::string tag = "transports/msgrate/" + std::to_string(pes) + "pe";
     bench::add_point(tag + "/rc_us_per_msg", 1.0 / rc);
     bench::add_point(tag + "/dc_us_per_msg", 1.0 / dcr);
     bench::add_point(tag + "/ud_us_per_msg", 1.0 / udr);
+    bench::add_point(tag + "/srd_us_per_msg", 1.0 / srdr);
     if (nodes == 2048) {
       rc_rate_4k = rc;
       dc_rate_4k = dcr;
@@ -160,8 +173,8 @@ int main(int argc, char** argv) {
   double min_big_speedup = 1e9;
   for (std::size_t n : {64u << 10, 256u << 10, 1u << 20, 4u << 20}) {
     double us1 = 0, us2 = 0;
-    double bw1 = bandwidth_gbps(1, n, &us1);
-    double bw2 = bandwidth_gbps(2, n, &us2);
+    double bw1 = bandwidth_gbps(QpKind::kRc, 1, n, &us1);
+    double bw2 = bandwidth_gbps(QpKind::kRc, 2, n, &us2);
     double speedup = bw2 / bw1;
     std::printf("%-10s %-12.2f %-12.2f %-10.2f\n",
                 bench::size_label(n).c_str(), bw1, bw2, speedup);
@@ -169,6 +182,40 @@ int main(int argc, char** argv) {
     bench::add_point(tag + "/1rail_us", us1);
     bench::add_point(tag + "/2rail_us", us2);
     if (n >= (256u << 10)) min_big_speedup = std::min(min_big_speedup, speedup);
+  }
+
+  // ---- srd: segment spraying vs in-order rc -------------------------------
+  // Same one-op probe through the relaxed-ordering transport: per-segment
+  // overhead and delivery jitter cost a few percent vs rc, and 2-rail
+  // per-segment spraying recovers the striping speedup without rc's
+  // stripe-threshold carve-up.
+  std::printf("\n== srd H->H bandwidth, spray across rails (GB/s) ==\n");
+  std::printf("%-10s %-12s %-12s %-12s %-10s\n", "size", "rc-1rail",
+              "srd-1rail", "srd-2rail", "segs(ooo)");
+  double srd_over_rc_4m = 0, srd_spray_speedup_4m = 0;
+  for (std::size_t n : {256u << 10, 1u << 20, 4u << 20}) {
+    double rc_us = 0, us1 = 0, us2 = 0;
+    std::uint64_t segs = 0, ooo = 0;
+    double rc_bw = bandwidth_gbps(QpKind::kRc, 1, n, &rc_us);
+    double bw1 = bandwidth_gbps(QpKind::kSrd, 1, n, &us1);
+    double bw2 = bandwidth_gbps(QpKind::kSrd, 2, n, &us2, &segs, &ooo);
+    char seg_label[32];
+    std::snprintf(seg_label, sizeof seg_label, "%llu(%llu)",
+                  static_cast<unsigned long long>(segs),
+                  static_cast<unsigned long long>(ooo));
+    std::printf("%-10s %-12.2f %-12.2f %-12.2f %-10s\n",
+                bench::size_label(n).c_str(), rc_bw, bw1, bw2, seg_label);
+    std::string tag = "transports/srd/" + bench::size_label(n);
+    bench::add_point(tag + "/1rail_us", us1);
+    bench::add_point(tag + "/2rail_us", us2);
+    if (n == (4u << 20)) {
+      srd_over_rc_4m = bw1 / rc_bw;
+      srd_spray_speedup_4m = bw2 / bw1;
+      bench::add_metric("transports/srd/segments_4M",
+                        static_cast<double>(segs));
+      bench::add_metric("transports/srd/ooo_deliveries_4M",
+                        static_cast<double>(ooo));
+    }
   }
 
   // ---- acceptance self-checks ---------------------------------------------
@@ -189,6 +236,19 @@ int main(int argc, char** argv) {
   if (min_big_speedup < 1.5) {
     std::fprintf(stderr, "FAIL: 2-rail speedup %.2fx below 1.5x at >= 256 KiB\n",
                  min_big_speedup);
+    ++failures;
+  }
+  bench::add_metric("transports/srd_over_rc_bw_4M_x", srd_over_rc_4m);
+  bench::add_metric("transports/srd_2rail_spray_speedup_4M_x",
+                    srd_spray_speedup_4m);
+  if (srd_over_rc_4m < 0.80) {
+    std::fprintf(stderr, "FAIL: srd 4 MiB bandwidth %.2fx of rc — "
+                 "segmentation overhead above 20%%\n", srd_over_rc_4m);
+    ++failures;
+  }
+  if (srd_spray_speedup_4m < 1.5) {
+    std::fprintf(stderr, "FAIL: srd 2-rail spray speedup %.2fx below 1.5x "
+                 "at 4 MiB\n", srd_spray_speedup_4m);
     ++failures;
   }
   if (failures != 0) return failures;

@@ -202,12 +202,18 @@ struct TeamCtx {
   std::uint64_t fv(std::uint64_t seq) const { return (gen << 32) | seq; }
 
   /// 8-byte flag write. Flag puts are uniform in size, so two writes from
-  /// one PE to one slot arrive in issue order on a healthy fabric; under an
-  /// active fault plan retransmits could reorder them, so each one is
-  /// flushed before the next can be issued.
+  /// one PE to one slot arrive in issue order on a healthy in-order fabric;
+  /// under an active fault plan retransmits could reorder them, and on a
+  /// relaxed-ordering transport (srd) delivery jitter can — a newer
+  /// generation-tagged value overwritten by a stale one after the waiter
+  /// already passed would strand a later kGe wait forever. Flush each flag
+  /// before the next can be issued in either regime.
   void put_flag(std::uint64_t* my_slot, std::uint64_t v, int peer_idx) {
     ctx.putmem(my_slot, &v, sizeof(v), world(peer_idx));
-    if (ctx.runtime().faults_enabled()) ctx.quiet();
+    if (ctx.runtime().faults_enabled() ||
+        !ctx.runtime().ib().in_order_delivery()) {
+      ctx.quiet();
+    }
   }
   void wait_flag(const std::uint64_t* my_slot, std::uint64_t v) {
     ctx.wait_until<std::uint64_t>(my_slot, Cmp::kGe, v);

@@ -148,9 +148,15 @@ class Ctx {
   void put_sync(void* dst_sym, const void* src, std::size_t n, int pe);
 
   // ---- ordering ---------------------------------------------------------------
-  /// Wait for remote completion of all pending ops issued by this PE.
+  /// Wait for remote completion of all pending ops issued by this PE. On a
+  /// relaxed-ordering transport (srd) an op's completion fires only once
+  /// every sprayed segment has landed, so quiet still guarantees full
+  /// visibility of all prior puts at their targets.
   void quiet();
-  /// Ordering fence; implemented as quiet (a legal strengthening).
+  /// Ordering fence; implemented as quiet (a legal strengthening). On rc/
+  /// ud/dc the wire's FIFO would order same-target ops anyway; on srd this
+  /// wait is a real ordering point — nothing else sequences two ops whose
+  /// segments are independently jittered.
   void fence() { quiet(); }
 
   // ---- point-to-point synchronization ------------------------------------------

@@ -253,8 +253,16 @@ void EnhancedGdrTransport::proxy_put(Ctx& ctx, const RmaOp& op,
       std::uint64_t need = off / window;
       ctx.wait_for([&] { return st->windows_done >= need; });
     }
-    ctx.track(rt_.ib().rdma_write(ctx.proc(), me, src_bytes + off,
-                                     proxy.endpoint(), st->staging, w));
+    auto data = rt_.ib().rdma_write(ctx.proc(), me, src_bytes + off,
+                                       proxy.endpoint(), st->staging, w);
+    if (rt_.ib().in_order_delivery()) {
+      ctx.track(std::move(data));
+    } else {
+      // Relaxed ordering (srd): the fin below must not overtake the staging
+      // write — the proxy drains staging on fin receipt — so wait for the
+      // window's data before announcing it.
+      data->wait(ctx.proc());
+    }
     CtrlMsg fin;
     fin.kind = CtrlMsg::Kind::kProxyPutFin;
     fin.from = me;

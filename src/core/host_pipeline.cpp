@@ -150,11 +150,14 @@ void HostPipelineTransport::eager_put(Ctx& ctx, const RmaOp& op) {
     return rt_.ib().rdma_write(ctx.proc(), me, slot_src, dst, remote_slot,
                                   bytes);
   };
-  if (rt_.faults_enabled()) {
+  if (rt_.faults_enabled() || !rt_.ib().in_order_delivery()) {
     // The payload must be in the remote eager slot before the notification:
     // a tier-2 replay of the data write could otherwise land after the
     // target's final copy read the slot. slot_src stays valid (one eager in
-    // flight per peer), so the replay is exact.
+    // flight per peer), so the replay is exact. On a relaxed-ordering
+    // transport (srd) the data write and the notification can also arrive
+    // out of issue order, so the data wait is required even fault-free
+    // (await_reliable is then a plain wait).
     ctx.await_reliable(ctx.proc(), data_post(), data_post);
   } else {
     ctx.track(data_post());
@@ -223,7 +226,9 @@ void HostPipelineTransport::on_eager_get_req(Ctx& ctx, CtrlMsg& msg,
     return rt_.ib().rdma_write(worker, me, slot_src, requester, remote_slot,
                                   bytes);
   };
-  if (rt_.faults_enabled()) {
+  // Same data-before-notification requirement as eager_put: also needed
+  // fault-free on a relaxed-ordering transport.
+  if (rt_.faults_enabled() || !rt_.ib().in_order_delivery()) {
     ctx.await_reliable(worker, data_post(), data_post);
   } else {
     data_post();
@@ -310,10 +315,13 @@ void HostPipelineTransport::rendezvous_put(Ctx& ctx, const RmaOp& op) {
       return rt_.ib().rdma_write(ctx.proc(), me, buf, dst, st->staging + off,
                                     c);
     };
-    if (rt_.faults_enabled()) {
+    if (rt_.faults_enabled() || !rt_.ib().in_order_delivery()) {
       // Chunk bytes must be in target staging before the chunk notification
       // (the target copies out of staging on receipt). Serializes the
-      // pipeline, but only under a fault plan.
+      // pipeline, but only under a fault plan or a relaxed-ordering
+      // transport, where the wire's FIFO can't sequence write vs. notify.
+      // The wait also makes the bounce slot immediately reusable, so the
+      // slot_comp bookkeeping of the pipelined branch is unnecessary here.
       ctx.await_reliable(ctx.proc(), data_post(), data_post);
     } else {
       auto comp = data_post();
@@ -463,7 +471,7 @@ void HostPipelineTransport::on_get_req(Ctx& ctx, CtrlMsg& msg,
       return rt_.ib().rdma_write(worker, me, buf, requester,
                                     st->staging + off, c);
     };
-    if (rt_.faults_enabled()) {
+    if (rt_.faults_enabled() || !rt_.ib().in_order_delivery()) {
       ctx.await_reliable(worker, data_post(), data_post);
     } else {
       auto comp = data_post();

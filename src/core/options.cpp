@@ -251,8 +251,10 @@ RuntimeOptions RuntimeOptions::from_env() {
         opts.ib_transport = ib::QpKind::kUd;
       } else if (value == "dc") {
         opts.ib_transport = ib::QpKind::kDc;
+      } else if (value == "srd") {
+        opts.ib_transport = ib::QpKind::kSrd;
       } else {
-        bad(key, "expected rc | ud | dc, got \"" + value + "\"");
+        bad(key, "expected rc | ud | dc | srd, got \"" + value + "\"");
       }
     } else if (key == "GDRSHMEM_IB_RAILS") {
       long long v = env_int(key, value);
@@ -260,6 +262,15 @@ RuntimeOptions RuntimeOptions::from_env() {
       opts.ib_rails = static_cast<int>(v);
     } else if (key == "GDRSHMEM_IB_SRQ") {
       opts.ib_srq = env_bool(key, value);
+    } else if (key == "GDRSHMEM_IB_SRD_SEED") {
+      long long v = env_int(key, value);
+      if (v < 0) bad(key, "seed must be >= 0");
+      opts.ib_srd_seed = static_cast<std::uint64_t>(v);
+    } else if (key == "GDRSHMEM_IB_SRD_JITTER_US") {
+      opts.ib_srd_jitter_us = env_double(key, value);
+      if (opts.ib_srd_jitter_us < 0.0) {
+        bad(key, "jitter window must be >= 0 (us; 0 disables jitter)");
+      }
     } else if (key == "GDRSHMEM_DEVICE_BACKEND") {
       if (value == "gpu-ib") {
         opts.device_backend = DeviceBackendKind::kGpuIb;
@@ -299,7 +310,8 @@ RuntimeOptions RuntimeOptions::from_env() {
           "DIRECT_GDR_READ_LIMIT, INTER_SOCKET_GDR_DIVISOR, COLL_ALGO, "
           "COLL_CHUNK, MAX_SW_REPLAYS, REPLAY_BACKOFF_US, PROXY_TIMEOUT_US, "
           "PROXY_MAX_REISSUES, DEVICE_BACKEND, DEVICE_QUEUE_DEPTH, "
-          "IB_TRANSPORT, IB_RAILS, IB_SRQ, FAULTS, TRACE, TRACE_CAP)");
+          "IB_TRANSPORT, IB_RAILS, IB_SRQ, IB_SRD_SEED, IB_SRD_JITTER_US, "
+          "FAULTS, TRACE, TRACE_CAP)");
     }
   }
   return opts;

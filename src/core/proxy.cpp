@@ -145,8 +145,18 @@ void ProxyDaemon::do_get(sim::Process& self, CtrlMsg& msg) {
                                         slot_repost[s]);
     }
   } else if (msg.bytes > 0) {
-    std::size_t last_slot = ((msg.bytes + chunk - 1) / chunk - 1) % 2;
-    if (slot_comp[last_slot]) slot_comp[last_slot]->wait(self);
+    if (rt_.ib().in_order_delivery()) {
+      // FIFO wire: the other slot's chunk was posted earlier to the same
+      // peer, so the last chunk's completion implies it landed.
+      std::size_t last_slot = ((msg.bytes + chunk - 1) / chunk - 1) % 2;
+      if (slot_comp[last_slot]) slot_comp[last_slot]->wait(self);
+    } else {
+      // Relaxed ordering (srd): an earlier chunk can still be in flight
+      // when the later one completes; done must wait for both slots.
+      for (auto& comp : slot_comp) {
+        if (comp) comp->wait(self);
+      }
+    }
   }
   Runtime& rt = rt_;
   rt_.ib().post_send(self, endpoint(), requester, 0, [st, &rt, requester] {

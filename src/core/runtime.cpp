@@ -23,9 +23,13 @@ Runtime::Runtime(const hw::ClusterConfig& cluster_cfg, const RuntimeOptions& opt
   if (opts_.trace) tracer_.enable();
   tracer_.set_capacity(opts_.trace_cap);
 
-  ib_ = ib::make_transport(
-      verbs_, ib::TransportConfig{opts_.ib_transport, opts_.ib_rails,
-                                  opts_.ib_srq});
+  ib::TransportConfig ib_cfg;
+  ib_cfg.kind = opts_.ib_transport;
+  ib_cfg.rails = opts_.ib_rails;
+  ib_cfg.srq = opts_.ib_srq;
+  ib_cfg.srd_seed = opts_.ib_srd_seed;
+  ib_cfg.srd_jitter_us = opts_.ib_srd_jitter_us;
+  ib_ = ib::make_transport(verbs_, ib_cfg);
 
   verbs_.set_fault_injector(&injector_);
   // Mirror fault/recovery events into the metrics registry and — when
@@ -216,6 +220,7 @@ void Runtime::snapshot_metrics() {
   metrics_.counter("reg_cache/hits").set(verbs_.reg_cache().hits());
   metrics_.counter("reg_cache/misses").set(verbs_.reg_cache().misses());
   metrics_.counter("reg_cache/evictions").set(verbs_.reg_cache().evictions());
+  metrics_.counter("reg_cache/grows").set(verbs_.reg_cache().grows());
   metrics_.counter("ib/ops_posted").set(verbs_.ops_posted());
   // Transport-layer diagnostics: the modeled per-endpoint QP footprint (for
   // the mesh the job would form) plus the per-kind activity counters.
@@ -226,6 +231,11 @@ void Runtime::snapshot_metrics() {
   metrics_.counter("ib/dc_reconnects").set(ib_->dc_reconnects());
   metrics_.counter("ib/ud_packets").set(ib_->ud_packets());
   metrics_.counter("ib/striped_ops").set(ib_->striped_ops());
+  metrics_.counter("ib/srd/segments").set(ib_->srd_segments());
+  metrics_.counter("ib/srd/ooo_deliveries").set(ib_->srd_ooo_deliveries());
+  metrics_.gauge("ib/srd/reorder_bytes_hwm").set(ib_->srd_reorder_bytes_hwm());
+  metrics_.gauge("ib/srd/reorder_entries_hwm")
+      .set(ib_->srd_reorder_entries_hwm());
   if (proxies_enabled()) {
     std::uint64_t gets = 0, puts = 0, device_cmds = 0, restarts = 0;
     for (const auto& p : proxies_) {

@@ -72,7 +72,7 @@ struct RuntimeOptions {
   /// before the kernel blocks on a free slot (GDRSHMEM_DEVICE_QUEUE_DEPTH).
   std::size_t device_queue_depth = 64;
   /// Queue-pair transport behind the ib::Transport endpoint API
-  /// (GDRSHMEM_IB_TRANSPORT=rc|ud|dc; rc by default). All three land
+  /// (GDRSHMEM_IB_TRANSPORT=rc|ud|dc|srd; rc by default). All four land
   /// identical application bytes per seed; they differ in modeled cost and
   /// per-QP memory, so CI A/Bs suites across values.
   ib::QpKind ib_transport = ib::qp_kind_from_env();
@@ -80,9 +80,17 @@ struct RuntimeOptions {
   /// default — the bit-identical legacy schedule).
   int ib_rails = ib::rails_from_env();
   /// Model an RC shared receive queue instead of per-QP recv rings
-  /// (GDRSHMEM_IB_SRQ; footprint-only — never changes timing). UD and DC
-  /// always use the SRQ.
+  /// (GDRSHMEM_IB_SRQ; footprint-only — never changes timing). UD, DC and
+  /// SRD always use the SRQ.
   bool ib_srq = false;
+  /// Seed for srd's deterministic per-segment delivery jitter
+  /// (GDRSHMEM_IB_SRD_SEED; the reordering pattern is bit-identical per
+  /// seed). Ignored by the ordered transports.
+  std::uint64_t ib_srd_seed = 1;
+  /// srd jitter window override in microseconds (GDRSHMEM_IB_SRD_JITTER_US;
+  /// 0 disables jitter for A/B isolation). Negative keeps
+  /// hw::SystemParams::srd_jitter_window_us.
+  double ib_srd_jitter_us = -1.0;
 
   /// Build options from the environment: parses and validates every
   /// GDRSHMEM_* variable (backend, heap sizes, transport, tuning

@@ -122,6 +122,29 @@ struct SystemParams {
   /// GDRSHMEM_IB_RAILS=2.
   std::size_t rail_stripe_min_bytes = 256 * 1024;
 
+  // ---- SRD relaxed-ordering transport -------------------------------------
+  // EFA/SRD-style fabric: every RMA op is segmented into MTU-sized packets
+  // individually sprayed across rails/paths, so segments arrive out of order
+  // and a target-side reorder/tracking buffer detects op completion. The
+  // reordering is drawn deterministically from the run seed
+  // (GDRSHMEM_IB_SRD_SEED), so every run is bit-identical per seed.
+  /// SRD segment payload limit (EFA-like MTU).
+  std::size_t srd_mtu_bytes = 8192;
+  /// Per-segment software/header cost at the source (WQE build + path
+  /// selection); cheaper than ud_packet_overhead_us — no per-datagram SRQ
+  /// consume, the reorder buffer absorbs arrivals.
+  double srd_segment_overhead_us = 0.12;
+  /// Width of the per-segment delivery jitter window: each inter-node
+  /// segment's arrival is deferred by uniform [0, this) us past the path's
+  /// deterministic schedule. 0 disables jitter (in-order srd, for A/B
+  /// isolation). Overridable via GDRSHMEM_IB_SRD_JITTER_US.
+  double srd_jitter_window_us = 1.5;
+  /// Reorder-buffer tracking entry per in-flight segment at the target
+  /// (sequence bookkeeping only — payloads land in place on arrival).
+  std::size_t srd_reorder_entry_bytes = 64;
+  /// Reorder-buffer entries provisioned per endpoint (footprint model).
+  int srd_reorder_entries = 1024;
+
   // ---- Host-side software -----------------------------------------------
   /// Shared-memory (process-to-process, same node) copy bandwidth.
   double host_memcpy_bw_mbps = 11000.0;

@@ -22,9 +22,10 @@ namespace gdrshmem::ib {
 
 /// Queue-pair discipline behind the endpoint API.
 enum class QpKind {
-  kRc,  // reliable connected: one QP per peer per endpoint (N^2 mesh)
-  kUd,  // unreliable datagram: one QP per endpoint, MTU-limited, no RDMA
-  kDc,  // dynamically connected: DCI pool + one DCT per endpoint
+  kRc,   // reliable connected: one QP per peer per endpoint (N^2 mesh)
+  kUd,   // unreliable datagram: one QP per endpoint, MTU-limited, no RDMA
+  kDc,   // dynamically connected: DCI pool + one DCT per endpoint
+  kSrd,  // scalable reliable datagram: reliable, relaxed ordering (EFA-like)
 };
 
 inline const char* to_string(QpKind k) {
@@ -32,11 +33,12 @@ inline const char* to_string(QpKind k) {
     case QpKind::kRc: return "rc";
     case QpKind::kUd: return "ud";
     case QpKind::kDc: return "dc";
+    case QpKind::kSrd: return "srd";
   }
   return "?";
 }
 
-/// GDRSHMEM_IB_TRANSPORT (rc | ud | dc; rc when unset). Consulted by
+/// GDRSHMEM_IB_TRANSPORT (rc | ud | dc | srd; rc when unset). Consulted by
 /// RuntimeOptions' defaulted member, mirroring device_backend_from_env, so
 /// every runtime honors the variable unless code pins a transport.
 QpKind qp_kind_from_env();
@@ -50,9 +52,16 @@ struct TransportConfig {
   /// rail_stripe_min_bytes; RC/DC only — UD segments stay on one rail).
   int rails = 1;
   /// Share one receive queue across an RC endpoint's QPs instead of per-QP
-  /// recv rings. UD and DC always use the SRQ; for RC this only changes the
-  /// modeled memory footprint, never timing.
+  /// recv rings. UD, DC and SRD always use the SRQ; for RC this only changes
+  /// the modeled memory footprint, never timing.
   bool srq = false;
+  /// Seed for srd's per-segment delivery jitter: the reordering a run sees
+  /// is a pure function of (seed, op, segment), so runs are bit-identical
+  /// per seed. Ignored by the ordered transports.
+  std::uint64_t srd_seed = 1;
+  /// srd jitter window override in us; < 0 keeps
+  /// SystemParams::srd_jitter_window_us.
+  double srd_jitter_us = -1.0;
 };
 
 /// Modeled HCA/host memory one endpoint pins under a transport, with every
@@ -93,6 +102,13 @@ class Transport {
   /// all-to-all. Pure arithmetic — usable at any scale without simulating.
   virtual QpFootprint footprint(int num_endpoints) const = 0;
 
+  /// False when the transport may deliver two data transfers (or segments
+  /// of one transfer) between the same endpoint pair out of issue order —
+  /// srd. Protocol code that sequences a notification behind a data write
+  /// must then wait for the data completion explicitly instead of riding
+  /// the wire's FIFO.
+  virtual bool in_order_delivery() const { return true; }
+
   virtual sim::CompletionPtr rdma_write(sim::Process& proc, int src_pe,
                                         const void* lbuf, int dst_pe,
                                         void* rbuf, std::size_t n);
@@ -116,6 +132,15 @@ class Transport {
   std::uint64_t dc_reconnects() const { return dc_reconnects_; }
   std::uint64_t ud_packets() const { return ud_packets_; }
   std::uint64_t striped_ops() const { return striped_ops_; }
+  std::uint64_t srd_segments() const { return srd_segments_; }
+  /// Segment deliveries that arrived while an earlier-offset segment of the
+  /// same op was still in flight (a reorder the target had to absorb).
+  std::uint64_t srd_ooo_deliveries() const { return srd_ooo_deliveries_; }
+  /// Reorder/tracking buffer high-water marks (bytes and entries held for
+  /// ops whose completion had not yet been raised). Zero on the ordered
+  /// transports.
+  virtual std::uint64_t srd_reorder_bytes_hwm() const { return 0; }
+  virtual std::uint64_t srd_reorder_entries_hwm() const { return 0; }
 
  protected:
   const hw::SystemParams& params() const { return verbs_.cluster().params(); }
@@ -133,6 +158,8 @@ class Transport {
   std::uint64_t dc_reconnects_ = 0;
   std::uint64_t ud_packets_ = 0;
   std::uint64_t striped_ops_ = 0;
+  std::uint64_t srd_segments_ = 0;
+  std::uint64_t srd_ooo_deliveries_ = 0;
 
  private:
   std::vector<std::unique_ptr<Endpoint>> endpoints_;

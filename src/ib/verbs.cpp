@@ -65,7 +65,20 @@ void RegistrationCache::get_or_register(sim::Process& proc, int pe,
   proc.delay(Duration::us(params_.mr_register_base_us +
                           params_.mr_register_per_mb_us * mb));
   auto key = reinterpret_cast<std::uintptr_t>(addr);
-  Entry& e = pr.ranges[key];
+  auto [it, inserted] = pr.ranges.try_emplace(key);
+  Entry& e = it->second;
+  if (!inserted) {
+    // Grow-in-place: a registration at this base exists but is too short to
+    // cover [addr, addr+len). Extending it must keep a pinned entry pinned
+    // and must not mint a second LRU node for a dynamic one — the stale node
+    // would inflate lru.size(), shrink effective capacity, and eventually
+    // evict through an orphaned iterator. A dynamic entry keeps its single
+    // node, bumped to most-recent.
+    ++grows_;
+    e.len = std::max(e.len, len);
+    if (!e.pinned) pr.lru.splice(pr.lru.end(), pr.lru, e.lru_pos);
+    return;
+  }
   e.len = len;
   e.pinned = false;
   e.lru_pos = pr.lru.insert(pr.lru.end(), key);
@@ -160,13 +173,14 @@ void Verbs::run_attempts(int src_pe, int dst_pe, bool atomic, bool unlimited,
 
 CompletionPtr Verbs::rdma_write(sim::Process& proc, int src_pe, const void* lbuf,
                                 int dst_pe, void* rbuf, std::size_t n,
-                                Rail rail) {
+                                Rail rail, SegmentOpts seg) {
   pre_post(proc, dst_pe, rbuf, n);
   reg_cache_.get_or_register(proc, src_pe, lbuf, n);
   auto comp = std::make_shared<Completion>();
   // The successful transmission, scheduled from the instant it runs. With no
   // fault plan it executes immediately below — the legacy single-shot path.
-  auto transmit = [this, src_pe, lbuf, dst_pe, rbuf, n, rail, comp] {
+  auto transmit = [this, src_pe, lbuf, dst_pe, rbuf, n, rail, comp,
+                   seg = std::move(seg)] {
     hw::PePlacement src = cluster_.placement(src_pe);
     hw::PePlacement dst = cluster_.placement(dst_pe);
     int shca = rail.src_hca >= 0 ? rail.src_hca : src.hca;
@@ -177,9 +191,11 @@ CompletionPtr Verbs::rdma_write(sim::Process& proc, int src_pe, const void* lbuf
         sim::combine({local_leg(src_pe, lbuf, hw::P2pDir::kRead, shca),
                       cluster_.wire(src.node, shca, dst.node, dhca),
                       local_leg(dst_pe, rbuf, hw::P2pDir::kWrite, dhca)});
-    Time data_at_target = path.schedule(eng_.now(), n);
-    eng_.schedule_at(data_at_target, [this, dst_pe, lbuf, rbuf, n] {
+    Time data_at_target = path.schedule(eng_.now(), n) + seg.jitter;
+    eng_.schedule_at(data_at_target, [this, dst_pe, lbuf, rbuf, n,
+                                      on_del = seg.on_delivered] {
       std::memcpy(rbuf, lbuf, n);
+      if (on_del) on_del();
       delivered(dst_pe);
     });
     eng_.schedule_at(data_at_target + ack_latency(src_pe, dst_pe),
@@ -199,11 +215,12 @@ CompletionPtr Verbs::rdma_write(sim::Process& proc, int src_pe, const void* lbuf
 
 CompletionPtr Verbs::rdma_read(sim::Process& proc, int src_pe, void* lbuf,
                                int dst_pe, const void* rbuf, std::size_t n,
-                               Rail rail) {
+                               Rail rail, SegmentOpts seg) {
   pre_post(proc, dst_pe, rbuf, n);
   reg_cache_.get_or_register(proc, src_pe, lbuf, n);
   auto comp = std::make_shared<Completion>();
-  auto transmit = [this, src_pe, lbuf, dst_pe, rbuf, n, rail, comp] {
+  auto transmit = [this, src_pe, lbuf, dst_pe, rbuf, n, rail, comp,
+                   seg = std::move(seg)] {
     hw::PePlacement src = cluster_.placement(src_pe);
     hw::PePlacement dst = cluster_.placement(dst_pe);
     int shca = rail.src_hca >= 0 ? rail.src_hca : src.hca;
@@ -217,9 +234,13 @@ CompletionPtr Verbs::rdma_read(sim::Process& proc, int src_pe, void* lbuf,
                       cluster_.wire(dst.node, dhca, src.node, shca),
                       local_leg(src_pe, lbuf, hw::P2pDir::kWrite, shca)});
     Time request_at_target = request.schedule(eng_.now(), 0);
-    Time data_local = back.schedule(request_at_target, n);
-    eng_.schedule_at(data_local, [this, comp, src_pe, lbuf, rbuf, n] {
+    // Response segments ride the jittered path too: the reorder/tracking
+    // buffer for a read lives at the *initiator*, where the data lands.
+    Time data_local = back.schedule(request_at_target, n) + seg.jitter;
+    eng_.schedule_at(data_local, [this, comp, src_pe, lbuf, rbuf, n,
+                                  on_del = seg.on_delivered] {
       std::memcpy(lbuf, rbuf, n);
+      if (on_del) on_del();
       delivered(src_pe);
       comp->fire();
     });

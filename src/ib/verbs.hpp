@@ -56,6 +56,9 @@ class RegistrationCache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
+  /// Misses that extended an existing registration at the same base address
+  /// in place (the entry keeps its pinned status and its single LRU node).
+  std::uint64_t grows() const { return grows_; }
 
  private:
   struct Entry {
@@ -82,6 +85,7 @@ class RegistrationCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+  std::uint64_t grows_ = 0;
 };
 
 /// Rail override for multi-HCA striping: which HCA index each side's leg
@@ -89,6 +93,17 @@ class RegistrationCache {
 struct Rail {
   int src_hca = -1;
   int dst_hca = -1;
+};
+
+/// Per-segment scheduling extras for relaxed-ordering transports. `jitter`
+/// defers the segment's data arrival past the path's deterministic schedule
+/// (the ACK tracks the jittered instant); `on_delivered` runs in event
+/// context immediately after the segment's bytes land, before the generic
+/// delivery hook fires. The defaults are inert — the legacy schedule runs
+/// verbatim, event for event.
+struct SegmentOpts {
+  sim::Duration jitter{};
+  std::function<void()> on_delivered;
 };
 
 /// The verbs provider shared by all PEs of a simulated job.
@@ -123,16 +138,17 @@ class Verbs {
   /// buffer is then reusable and the data is visible at the target).
   /// Works for any host/GPU buffer combination; GPU legs go through GDR.
   /// `rail` pins each side's HCA for multi-rail striping (placement default
-  /// otherwise).
+  /// otherwise); `seg` adds relaxed-ordering per-segment scheduling.
   sim::CompletionPtr rdma_write(sim::Process& proc, int src_pe,
                                 const void* lbuf, int dst_pe, void* rbuf,
-                                std::size_t n, Rail rail = {});
+                                std::size_t n, Rail rail = {},
+                                SegmentOpts seg = {});
 
   /// One-sided RDMA read of `n` bytes from `dst_pe`'s `rbuf` into
   /// `src_pe`-local `lbuf`. Completion fires when the data is in `lbuf`.
   sim::CompletionPtr rdma_read(sim::Process& proc, int src_pe, void* lbuf,
                                int dst_pe, const void* rbuf, std::size_t n,
-                               Rail rail = {});
+                               Rail rail = {}, SegmentOpts seg = {});
 
   /// Two-sided send of a control message: `deliver` runs at the target at
   /// arrival time (the caller wires it to a mailbox). `n` models payload

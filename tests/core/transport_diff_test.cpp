@@ -1,8 +1,8 @@
 // Differential tests across the IB queue-pair transports: the same workload
-// under rc, ud, and dc (and 1 vs 2 rails) must land bit-identical bytes —
-// only the virtual clock may move — on both device backends, with and
-// without a fault plan. Also covers the new GDRSHMEM_IB_* env validation
-// and the shmem_info / shmemx transport query surface.
+// under rc, ud, dc, and srd (and 1 vs 2 rails) must land bit-identical
+// bytes — only the virtual clock may move — on both device backends, with
+// and without a fault plan. Also covers the new GDRSHMEM_IB_* env
+// validation and the shmem_info / shmemx transport query surface.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -22,7 +22,7 @@ using testing::make_options;
 using testing::run_spmd;
 
 constexpr ib::QpKind kKinds[] = {ib::QpKind::kRc, ib::QpKind::kUd,
-                                 ib::QpKind::kDc};
+                                 ib::QpKind::kDc, ib::QpKind::kSrd};
 
 std::uint64_t fnv1a(std::uint64_t h, const unsigned char* p, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
@@ -134,7 +134,8 @@ TEST(TransportDiff, AllTransportsLandIdenticalBytes) {
 }
 
 TEST(TransportDiff, TwoRailStripingPreservesResults) {
-  for (ib::QpKind kind : {ib::QpKind::kRc, ib::QpKind::kDc}) {
+  for (ib::QpKind kind :
+       {ib::QpKind::kRc, ib::QpKind::kDc, ib::QpKind::kSrd}) {
     DiffConfig one{kind, 1, DeviceBackendKind::kGpuIb, ""};
     DiffConfig two{kind, 2, DeviceBackendKind::kGpuIb, ""};
     EXPECT_EQ(run_checksum(one), run_checksum(two)) << ib::to_string(kind);
@@ -163,7 +164,8 @@ TEST(TransportDiff, FaultPlanPreservesResultsOnEveryTransport) {
 }
 
 TEST(TransportDiff, RunsAreDeterministicPerTransport) {
-  for (ib::QpKind kind : {ib::QpKind::kUd, ib::QpKind::kDc}) {
+  for (ib::QpKind kind :
+       {ib::QpKind::kUd, ib::QpKind::kDc, ib::QpKind::kSrd}) {
     DiffConfig c;
     c.kind = kind;
     c.rails = 2;
@@ -195,6 +197,22 @@ TEST(TransportFromEnv, ParsesTransportRailsAndSrq) {
   EXPECT_TRUE(opts.ib_srq);
 }
 
+TEST(TransportFromEnv, ParsesSrdKnobs) {
+  ScopedEnv e1("GDRSHMEM_IB_TRANSPORT", "srd");
+  ScopedEnv e2("GDRSHMEM_IB_SRD_SEED", "42");
+  ScopedEnv e3("GDRSHMEM_IB_SRD_JITTER_US", "2.5");
+  RuntimeOptions opts = RuntimeOptions::from_env();
+  EXPECT_EQ(opts.ib_transport, ib::QpKind::kSrd);
+  EXPECT_EQ(opts.ib_srd_seed, 42u);
+  EXPECT_DOUBLE_EQ(opts.ib_srd_jitter_us, 2.5);
+}
+
+TEST(TransportFromEnv, SrdKnobDefaults) {
+  RuntimeOptions opts = RuntimeOptions::from_env();
+  EXPECT_EQ(opts.ib_srd_seed, 1u);
+  EXPECT_LT(opts.ib_srd_jitter_us, 0.0);  // negative: keep the params default
+}
+
 TEST(TransportFromEnv, RejectsBadValues) {
   {
     ScopedEnv e("GDRSHMEM_IB_TRANSPORT", "xrc");
@@ -206,6 +224,14 @@ TEST(TransportFromEnv, RejectsBadValues) {
   }
   {
     ScopedEnv e("GDRSHMEM_IB_SRQ", "maybe");
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    ScopedEnv e("GDRSHMEM_IB_SRD_SEED", "-3");
+    EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
+  }
+  {
+    ScopedEnv e("GDRSHMEM_IB_SRD_JITTER_US", "-1.5");
     EXPECT_THROW(RuntimeOptions::from_env(), ShmemError);
   }
 }

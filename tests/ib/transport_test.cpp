@@ -8,6 +8,8 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 namespace gdrshmem::ib {
@@ -73,6 +75,10 @@ TEST(TransportEnv, KindParsesAndDefaults) {
     EXPECT_EQ(qp_kind_from_env(), QpKind::kDc);
   }
   {
+    ScopedEnv e("GDRSHMEM_IB_TRANSPORT", "srd");
+    EXPECT_EQ(qp_kind_from_env(), QpKind::kSrd);
+  }
+  {
     ScopedEnv e("GDRSHMEM_IB_TRANSPORT", "xrc");
     EXPECT_THROW(qp_kind_from_env(), std::invalid_argument);
   }
@@ -131,6 +137,33 @@ TEST(RcTransport, QpCachePenaltyKicksInPastContextCache) {
   sim::Time warm = time_with_cache(1 << 20);
   EXPECT_GT(cold, warm);  // overflowing the QP-context cache costs latency
   EXPECT_GT((cold - warm).to_us(), 0.5);
+}
+
+TEST(RcTransport, LoopbackPaysNoQpCachePenalty) {
+  // Regression: the QP-context-cache miss penalty was charged on same-node
+  // loopback ops too, which never touch the wire-facing QP working set. A
+  // loopback op's event stream must be identical whether the cache thrashes
+  // or not.
+  hw::ClusterConfig big = two_node_cluster();
+  big.num_nodes = 64;  // remote ops do overflow a 16-entry context cache
+  auto run_loopback = [&](int entries) {
+    hw::ClusterConfig cc = big;
+    cc.params.hca_qp_cache_entries = entries;
+    Fixture f(TransportConfig{}, cc);
+    std::vector<std::byte> src(4096, std::byte{7}), dst(4096);
+    f.verbs.reg_cache().register_at_init(0, src.data(), src.size());
+    f.verbs.reg_cache().register_at_init(1, dst.data(), dst.size());
+    sim::Time done;
+    f.eng.spawn("pe0", [&](sim::Process& p) {
+      // PE 1 is on-node.
+      f.transport->endpoint(0).rdma_write(p, src.data(), 1, dst.data(), 4096)
+          ->wait(p);
+      done = f.eng.now();
+    });
+    f.eng.run();
+    return std::pair<sim::Time, std::uint64_t>(done, f.eng.events_executed());
+  };
+  EXPECT_EQ(run_loopback(16), run_loopback(1 << 20));
 }
 
 TEST(RcTransport, PenaltyIsZeroAtSmallScale) {
@@ -230,6 +263,30 @@ TEST(DcTransport, LoopbackNeedsNoInitiator) {
   });
   dc.eng.run();
   EXPECT_EQ(dc.transport->dc_reconnects(), 0u);
+}
+
+TEST(DcTransport, StripedOpAcquiresBothRailsDcis) {
+  // Regression: 2-rail striping drove the second HCA without acquiring a
+  // DCI on it — no reconnect cost, no LRU entry. Each rail's pool must pay
+  // its own connection to a fresh target.
+  const std::size_t n = 1u << 20;  // above rail_stripe_min_bytes
+  auto reconnects = [&](int rails) {
+    Fixture dc(TransportConfig{QpKind::kDc, rails, true});
+    std::vector<std::byte> src(n), dst(n);
+    dc.verbs.reg_cache().register_at_init(0, src.data(), n);
+    dc.verbs.reg_cache().register_at_init(2, dst.data(), n);
+    dc.eng.spawn("pe0", [&](sim::Process& p) {
+      auto& ep = dc.transport->endpoint(0);
+      ep.rdma_write(p, src.data(), 2, dst.data(), n)->wait(p);
+      // Both rails now hold the target: a second striped op reconnects
+      // nothing.
+      ep.rdma_write(p, src.data(), 2, dst.data(), n)->wait(p);
+    });
+    dc.eng.run();
+    return dc.transport->dc_reconnects();
+  };
+  EXPECT_EQ(reconnects(1), 1u);
+  EXPECT_EQ(reconnects(2), 2u);
 }
 
 // ---------------------------------------------------------------------------
@@ -370,6 +427,172 @@ TEST(RegCacheBound, InitTimeRegistrationsArePinned) {
   // Dynamic entries churned through the 1-slot cache; the heap never moves.
   EXPECT_TRUE(rcache.covered(0, heap.data(), 64));
   EXPECT_GE(rcache.evictions(), 1u);
+}
+
+TEST(RegCacheBound, GrowingAPinnedRangeKeepsItPinned) {
+  // Regression: a miss at the base address of a shorter *pinned* entry
+  // rewrote it as a dynamic one — silently demoting e.g. the symmetric heap
+  // into the evictable LRU. The grow must keep the entry pinned.
+  hw::ClusterConfig cc = two_node_cluster();
+  cc.params.mr_cache_capacity = 1;
+  Fixture f(TransportConfig{}, cc);
+  RegistrationCache& rcache = f.verbs.reg_cache();
+  std::vector<std::byte> heap(8192), x(4096), y(4096);
+  rcache.register_at_init(0, heap.data(), 100);  // short pinned entry
+  f.eng.spawn("pe0", [&](sim::Process& p) {
+    rcache.get_or_register(p, 0, heap.data(), 200);  // grow in place
+    EXPECT_EQ(rcache.grows(), 1u);
+    EXPECT_TRUE(rcache.covered(0, heap.data(), 200));
+    // Churn the 1-slot dynamic cache; the grown pinned entry must survive.
+    rcache.get_or_register(p, 0, x.data(), x.size());
+    rcache.get_or_register(p, 0, y.data(), y.size());
+  });
+  f.eng.run();
+  EXPECT_TRUE(rcache.covered(0, heap.data(), 200));
+}
+
+TEST(RegCacheBound, GrowingADynamicRangeLeavesOneLruNode) {
+  // Regression: the same grow path minted a second LRU node for a dynamic
+  // entry while orphaning the old one — inflating lru.size(), shrinking
+  // effective capacity, and corrupting eviction order.
+  hw::ClusterConfig cc = two_node_cluster();
+  cc.params.mr_cache_capacity = 2;
+  Fixture f(TransportConfig{}, cc);
+  RegistrationCache& rcache = f.verbs.reg_cache();
+  std::vector<std::byte> a(8192), b(4096), c(4096);
+  f.eng.spawn("pe0", [&](sim::Process& p) {
+    rcache.get_or_register(p, 0, a.data(), 4096);
+    rcache.get_or_register(p, 0, a.data(), 8192);  // grow in place
+    EXPECT_EQ(rcache.grows(), 1u);
+    // Capacity 2 must still hold two distinct ranges: a stale duplicate
+    // node for `a` would make this insert evict spuriously.
+    rcache.get_or_register(p, 0, b.data(), b.size());
+    EXPECT_TRUE(rcache.covered(0, a.data(), 8192));
+    EXPECT_TRUE(rcache.covered(0, b.data(), 64));
+    EXPECT_EQ(rcache.evictions(), 0u);
+    // Overflow: exactly one eviction, and it is the true LRU (`a`).
+    rcache.get_or_register(p, 0, c.data(), c.size());
+    EXPECT_EQ(rcache.evictions(), 1u);
+    EXPECT_FALSE(rcache.covered(0, a.data(), 64));
+    EXPECT_TRUE(rcache.covered(0, b.data(), 64));
+    EXPECT_TRUE(rcache.covered(0, c.data(), 64));
+  });
+  f.eng.run();
+}
+
+// ---------------------------------------------------------------------------
+// SRD: segment spraying, deterministic reorder, tracking-buffer gauges.
+
+TEST(SrdTransport, LandsEveryByteDespiteReordering) {
+  const std::size_t n = 300001;  // 37 segments at the 8 KiB MTU, odd tail
+  std::vector<std::byte> src(n), dst(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    src[i] = static_cast<std::byte>(i * 13 + 5);
+  }
+  TransportConfig cfg;
+  cfg.kind = QpKind::kSrd;
+  cfg.srd_jitter_us = 10.0;  // wide window: adjacent segments do invert
+  Fixture f(cfg);
+  EXPECT_FALSE(f.transport->in_order_delivery());
+  f.verbs.reg_cache().register_at_init(0, src.data(), n);
+  f.verbs.reg_cache().register_at_init(2, dst.data(), n);
+  f.eng.spawn("pe0", [&](sim::Process& p) {
+    f.transport->endpoint(0).rdma_write(p, src.data(), 2, dst.data(), n)
+        ->wait(p);
+  });
+  f.eng.run();
+  EXPECT_EQ(dst, src);
+  const std::size_t mtu = f.cluster.params().srd_mtu_bytes;
+  EXPECT_EQ(f.transport->srd_segments(), (n + mtu - 1) / mtu);
+  // The whole point: segments arrived out of order, and the reorder buffer
+  // had to hold more than one in-flight tracking entry.
+  EXPECT_GT(f.transport->srd_ooo_deliveries(), 0u);
+  EXPECT_GT(f.transport->srd_reorder_entries_hwm(), 1u);
+  EXPECT_GT(f.transport->srd_reorder_bytes_hwm(), mtu);
+}
+
+TEST(SrdTransport, ZeroJitterDeliversInOrder) {
+  // GDRSHMEM_IB_SRD_JITTER_US=0 is the A/B isolation knob: srd segmentation
+  // with the reordering switched off must deliver strictly in order.
+  const std::size_t n = 300001;
+  std::vector<std::byte> src(n, std::byte{0x11}), dst(n);
+  TransportConfig cfg;
+  cfg.kind = QpKind::kSrd;
+  cfg.srd_jitter_us = 0.0;
+  Fixture f(cfg);
+  f.verbs.reg_cache().register_at_init(0, src.data(), n);
+  f.verbs.reg_cache().register_at_init(2, dst.data(), n);
+  f.eng.spawn("pe0", [&](sim::Process& p) {
+    f.transport->endpoint(0).rdma_write(p, src.data(), 2, dst.data(), n)
+        ->wait(p);
+  });
+  f.eng.run();
+  EXPECT_EQ(dst, src);
+  EXPECT_EQ(f.transport->srd_ooo_deliveries(), 0u);
+}
+
+TEST(SrdTransport, ReorderingIsBitIdenticalPerSeed) {
+  const std::size_t n = 300001;
+  auto run = [&](std::uint64_t seed) {
+    TransportConfig cfg;
+    cfg.kind = QpKind::kSrd;
+    cfg.srd_seed = seed;
+    cfg.srd_jitter_us = 10.0;
+    Fixture f(cfg);
+    std::vector<std::byte> src(n, std::byte{0x3c}), dst(n);
+    f.verbs.reg_cache().register_at_init(0, src.data(), n);
+    f.verbs.reg_cache().register_at_init(2, dst.data(), n);
+    sim::Time done;
+    f.eng.spawn("pe0", [&](sim::Process& p) {
+      f.transport->endpoint(0).rdma_write(p, src.data(), 2, dst.data(), n)
+          ->wait(p);
+      done = f.eng.now();
+    });
+    f.eng.run();
+    EXPECT_EQ(dst, src);
+    return std::make_tuple(done, f.eng.events_executed(),
+                           f.transport->srd_ooo_deliveries());
+  };
+  auto a = run(7), b = run(7), c = run(8);
+  EXPECT_EQ(a, b);  // same seed: bit-identical schedule and reordering
+  EXPECT_NE(a, c);  // different seed: a different (still valid) schedule
+}
+
+TEST(SrdTransport, FootprintIsConstantWithReorderBuffer) {
+  TransportConfig cfg;
+  cfg.kind = QpKind::kSrd;
+  Fixture f(cfg);
+  const hw::SystemParams& p = f.cluster.params();
+  QpFootprint fp = f.transport->footprint(4096);
+  EXPECT_EQ(fp.qps, 1u);  // one datagram QP regardless of peer count
+  EXPECT_EQ(fp.context_bytes,
+            p.ib_qp_context_bytes + p.ib_qp_ring_bytes +
+                static_cast<std::uint64_t>(p.srd_reorder_entries) *
+                    p.srd_reorder_entry_bytes);
+  EXPECT_EQ(fp.recv_bytes, p.ib_srq_bytes);
+}
+
+TEST(SrdTransport, AtomicsAndSendsStayOrdered) {
+  // Control messages and atomics ride the ordered service channel; they must
+  // work unchanged and never count as sprayed segments.
+  TransportConfig cfg;
+  cfg.kind = QpKind::kSrd;
+  Fixture f(cfg);
+  std::uint64_t word = 5;
+  f.verbs.reg_cache().register_at_init(2, &word, sizeof(word));
+  std::uint64_t old = 0;
+  bool delivered = false;
+  f.eng.spawn("pe0", [&](sim::Process& p) {
+    f.transport->endpoint(0).atomic_fadd64(p, 2, &word, 3, &old)->wait(p);
+    f.transport->endpoint(0)
+        .post_send(p, 2, 64, [&] { delivered = true; })
+        ->wait(p);
+  });
+  f.eng.run();
+  EXPECT_EQ(old, 5u);
+  EXPECT_EQ(word, 8u);
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(f.transport->srd_segments(), 0u);
 }
 
 }  // namespace
