@@ -40,6 +40,11 @@ scripts/check_sanitize.sh
 # 64->16K sweep.
 build/bench/bench_engine_overhead --scale-smoke
 
+# Checkpoint-service smoke: the faulted open-loop config (proxy crash + P2P
+# revocation mid-checkpoint) on both engine backends — digests must match
+# bit-for-bit and no acknowledged checkpoint may be lost.
+build/bench/bench_checkpoint --smoke
+
 # Bench smoke + perf gate: run every bench quickly (the tables are computed
 # once up front; the google-benchmark pass is skipped via a non-matching
 # filter), collect each bench's BENCH_<tag>.json, and compare the

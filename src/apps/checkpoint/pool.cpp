@@ -1,0 +1,96 @@
+#include "apps/checkpoint/pool.hpp"
+
+#include <stdexcept>
+
+namespace gdrshmem::apps::ckpt {
+
+PmemPool::PmemPool(std::size_t capacity, std::size_t chunk_bytes)
+    : capacity_(0), chunk_(chunk_bytes) {
+  if (chunk_bytes == 0 || (chunk_bytes & (chunk_bytes - 1)) != 0) {
+    throw std::invalid_argument("PmemPool: chunk_bytes must be a power of 2");
+  }
+  capacity_ = capacity / chunk_bytes * chunk_bytes;
+  if (capacity_ == 0) {
+    throw std::invalid_argument("PmemPool: capacity smaller than one chunk");
+  }
+}
+
+std::size_t PmemPool::rounded(std::size_t bytes) const {
+  if (bytes == 0) return chunk_;
+  return (bytes + chunk_ - 1) / chunk_ * chunk_;
+}
+
+std::optional<Extent> PmemPool::allocate(std::uint64_t key, std::size_t bytes) {
+  if (offset_of_key_.count(key) != 0) {
+    throw std::invalid_argument("PmemPool: key already has a live extent");
+  }
+  const std::size_t need = rounded(bytes);
+  // First fit: walk the gaps between live extents (and after the last one).
+  std::size_t gap_start = 0;
+  for (const auto& [off, live] : by_offset_) {
+    if (off - gap_start >= need) break;
+    gap_start = off + live.bytes;
+  }
+  if (capacity_ - gap_start < need) return std::nullopt;
+  by_offset_.emplace(gap_start, Live{key, need});
+  offset_of_key_.emplace(key, gap_start);
+  used_ += need;
+  return Extent{gap_start, need};
+}
+
+bool PmemPool::release(std::uint64_t key) {
+  auto it = offset_of_key_.find(key);
+  if (it == offset_of_key_.end()) return false;
+  auto live = by_offset_.find(it->second);
+  used_ -= live->second.bytes;
+  by_offset_.erase(live);
+  offset_of_key_.erase(it);
+  return true;
+}
+
+std::optional<Extent> PmemPool::find(std::uint64_t key) const {
+  auto it = offset_of_key_.find(key);
+  if (it == offset_of_key_.end()) return std::nullopt;
+  return Extent{it->second, by_offset_.at(it->second).bytes};
+}
+
+std::size_t PmemPool::largest_free_run() const {
+  std::size_t best = 0;
+  std::size_t gap_start = 0;
+  for (const auto& [off, live] : by_offset_) {
+    best = std::max(best, off - gap_start);
+    gap_start = off + live.bytes;
+  }
+  return std::max(best, capacity_ - gap_start);
+}
+
+std::size_t PmemPool::repack(
+    const std::function<void(std::uint64_t, std::size_t, std::size_t,
+                             std::size_t)>& on_move,
+    const std::function<bool(std::uint64_t)>& is_pinned) {
+  std::size_t moved = 0;
+  std::size_t next = 0;
+  // Rebuild the offset map front-to-back. Moves are strictly downward and
+  // processed in ascending old offset, so a destination never overlaps an
+  // extent that has not been moved yet; a pinned extent keeps its offset and
+  // advances the write pointer past itself.
+  std::map<std::size_t, Live> packed;
+  for (const auto& [off, live] : by_offset_) {
+    if (is_pinned && is_pinned(live.key)) {
+      packed.emplace(off, live);
+      next = off + live.bytes;
+      continue;
+    }
+    if (off != next) {
+      on_move(live.key, off, next, live.bytes);
+      offset_of_key_[live.key] = next;
+      ++moved;
+    }
+    packed.emplace(next, live);
+    next += live.bytes;
+  }
+  by_offset_ = std::move(packed);
+  return moved;
+}
+
+}  // namespace gdrshmem::apps::ckpt

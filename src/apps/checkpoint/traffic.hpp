@@ -1,0 +1,71 @@
+// Open-loop traffic for the checkpoint service: each client PE draws a
+// seeded schedule of requests with exponential interarrivals and skewed
+// sizes, computed up front so arrival instants are absolute — a slow service
+// does not slow the offered load, it grows the measured latency (queueing is
+// visible, unlike closed-loop think-time drivers). Everything is a pure
+// function of (seed, client index), so runs are bit-identical per seed on
+// both engine backends.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace gdrshmem::apps::ckpt {
+
+struct OpenLoopParams {
+  std::uint64_t seed = 1;
+  /// Mean of the exponential interarrival distribution, per client.
+  double mean_interarrival_us = 50.0;
+  /// Requests per client (checkpoints + restores).
+  int requests_per_client = 16;
+  /// Probability a request is a restore of the latest acknowledged
+  /// checkpoint instead of a new checkpoint. The first request of every
+  /// client is always a checkpoint.
+  double restore_fraction = 0.2;
+  /// Checkpoint payload size range; sizes are min + (max - min) * u^skew
+  /// rounded up to 64 bytes, so skew > 1 makes small checkpoints common and
+  /// large ones a heavy tail.
+  std::size_t min_bytes = 2048;
+  std::size_t max_bytes = 32768;
+  double size_skew = 2.0;
+};
+
+struct Request {
+  double at_us = 0;  // absolute arrival, relative to the traffic start
+  bool restore = false;
+  std::size_t bytes = 0;  // checkpoint payload (0 for restores)
+};
+
+/// The full request schedule for one client. Deterministic in
+/// (params.seed, client_index); independent streams per client.
+inline std::vector<Request> make_open_loop(const OpenLoopParams& p,
+                                           int client_index) {
+  sim::Rng rng(p.seed * 0x9e3779b97f4a7c15ULL +
+               static_cast<std::uint64_t>(client_index) * 0x2545f4914f6cdd1dULL +
+               1);
+  std::vector<Request> reqs;
+  reqs.reserve(static_cast<std::size_t>(p.requests_per_client));
+  double t = 0;
+  for (int i = 0; i < p.requests_per_client; ++i) {
+    // Inverse-CDF exponential draw; 1 - u is in (0, 1] so the log is finite.
+    t += -p.mean_interarrival_us * std::log(1.0 - rng.next_double());
+    Request r;
+    r.at_us = t;
+    r.restore = i > 0 && rng.next_double() < p.restore_fraction;
+    if (!r.restore) {
+      double u = std::pow(rng.next_double(), p.size_skew);
+      auto raw = static_cast<std::size_t>(
+          static_cast<double>(p.min_bytes) +
+          u * static_cast<double>(p.max_bytes - p.min_bytes));
+      r.bytes = (raw + 63) / 64 * 64;
+    }
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+}  // namespace gdrshmem::apps::ckpt

@@ -56,7 +56,7 @@ void* Ctx::shmalloc(std::size_t bytes, Domain domain) {
 void Ctx::shfree(void* p) {
   barrier_all();  // nobody may still be targeting the block
   // Freeing from whichever heap owns the pointer.
-  for (Domain d : {Domain::kHost, Domain::kGpu}) {
+  for (Domain d : {Domain::kHost, Domain::kGpu, Domain::kPmem}) {
     if (rt_->heap(pe_, d).contains(p)) {
       rt_->heap(pe_, d).deallocate(p);
       return;

@@ -41,9 +41,13 @@ class SymmetricHeap {
   void* allocate(std::size_t bytes, std::size_t align = 64) {
     if (bytes == 0) throw ShmemError("shmalloc of zero bytes");
     std::size_t aligned = (top_ + align - 1) / align * align;
-    if (aligned + bytes > size_) {
-      throw ShmemError("symmetric heap exhausted (" + std::string(to_string(domain_)) +
-                       " domain): increase the heap size runtime parameter");
+    if (aligned > size_ || bytes > size_ - aligned) {
+      throw ShmemError(
+          "symmetric heap exhausted (" + std::string(to_string(domain_)) +
+          " domain): requested " + std::to_string(bytes) + " bytes (align " +
+          std::to_string(align) + "), " + std::to_string(size_ - top_) +
+          " of " + std::to_string(size_) +
+          " bytes free — increase the heap size runtime parameter");
     }
     void* p = base_ + aligned;
     live_.push_back({aligned, bytes, /*freed=*/false});

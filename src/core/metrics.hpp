@@ -71,6 +71,42 @@ class Histogram {
     return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
   }
 
+  /// Estimate the `p`-quantile (p in [0, 1], e.g. 0.5 / 0.99 / 0.999) by
+  /// linear interpolation within the log2 bin holding the target rank. The
+  /// bin edges are tightened with the tracked exact min/max, so a
+  /// single-valued histogram reports that value exactly and every estimate
+  /// stays within [min, max]. Returns 0 on an empty histogram.
+  std::uint64_t percentile(double p) const {
+    if (count_ == 0) return 0;
+    p = std::clamp(p, 0.0, 1.0);
+    // Rank of the target sample, 1-based: ceil(p * count), at least 1.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        p * static_cast<double>(count_) + 0.9999999999);
+    rank = std::clamp<std::uint64_t>(rank, 1, count_);
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kBins; ++i) {
+      std::uint64_t n = bins_[static_cast<std::size_t>(i)];
+      if (n == 0) continue;
+      if (seen + n < rank) {
+        seen += n;
+        continue;
+      }
+      // Target lands in bin i: interpolate between the bin's effective
+      // bounds. bin_floor(i + 1) would overflow for the last bin; max_
+      // bounds it in every case.
+      std::uint64_t lo = std::max(bin_floor(i), min_);
+      std::uint64_t hi = i + 1 >= kBins ? max_
+                                        : std::min(bin_floor(i + 1) - 1, max_);
+      if (hi <= lo) return lo;
+      double frac = n == 1 ? 0.0
+                           : static_cast<double>(rank - seen - 1) /
+                                 static_cast<double>(n - 1);
+      return lo + static_cast<std::uint64_t>(
+                      frac * static_cast<double>(hi - lo) + 0.5);
+    }
+    return max_;
+  }
+
  private:
   std::uint64_t count_ = 0;
   std::uint64_t sum_ = 0;

@@ -146,6 +146,13 @@ RuntimeOptions RuntimeOptions::from_env() {
     } else if (key == "GDRSHMEM_GPU_HEAP") {
       opts.gpu_heap_bytes = env_size(key, value);
       if (opts.gpu_heap_bytes < (1u << 16)) bad(key, "heap must be >= 64K");
+    } else if (key == "GDRSHMEM_PMEM_HEAP") {
+      // 0 (the default) disables the pmem domain entirely; a present heap
+      // obeys the same 64K floor as the host and GPU heaps.
+      opts.pmem_heap_bytes = env_size(key, value);
+      if (opts.pmem_heap_bytes > 0 && opts.pmem_heap_bytes < (1u << 16)) {
+        bad(key, "heap must be >= 64K (or 0 to disable the pmem domain)");
+      }
     } else if (key == "GDRSHMEM_SERVICE_THREAD") {
       opts.service_thread = env_bool(key, value);
     } else if (key == "GDRSHMEM_SERVICE_THREAD_PENALTY") {
@@ -303,7 +310,7 @@ RuntimeOptions RuntimeOptions::from_env() {
       bad(key,
           "unknown GDRSHMEM_* variable (known: SIM_BACKEND, SIM_QUEUE, "
           "SIM_BATCH, SIM_FIBER_SWITCH, SIM_STACK_KB, SIM_STACK_POOL, "
-          "TRANSPORT, HOST_HEAP, GPU_HEAP, SERVICE_THREAD, "
+          "TRANSPORT, HOST_HEAP, GPU_HEAP, PMEM_HEAP, SERVICE_THREAD, "
           "SERVICE_THREAD_PENALTY, USE_PROXY, EAGER_LIMIT, PIPELINE_CHUNK, "
           "INLINE_PUT_LIMIT, LOOPBACK_GDR_WRITE_LIMIT, "
           "LOOPBACK_GDR_READ_LIMIT, DIRECT_GDR_WRITE_LIMIT, "

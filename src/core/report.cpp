@@ -56,13 +56,18 @@ std::string format_report(Runtime& rt) {
          << std::setw(12) << inj.count(ev) << '\n';
     }
   }
-  std::size_t host_used = 0, gpu_used = 0;
+  std::size_t host_used = 0, gpu_used = 0, pmem_used = 0;
   for (int pe = 0; pe < rt.num_pes(); ++pe) {
     host_used += rt.heap(pe, Domain::kHost).used();
     gpu_used += rt.heap(pe, Domain::kGpu).used();
+    pmem_used += rt.heap(pe, Domain::kPmem).used();
   }
   os << "symmetric heaps: " << host_used / 1024 << " KiB host, "
-     << gpu_used / 1024 << " KiB GPU in use across PEs\n";
+     << gpu_used / 1024 << " KiB GPU";
+  if (rt.options().pmem_heap_bytes > 0) {
+    os << ", " << pmem_used / 1024 << " KiB pmem";
+  }
+  os << " in use across PEs\n";
   if (rt.tracer().enabled()) {
     os << "trace: " << rt.tracer().size() << " events retained, "
        << rt.tracer().dropped() << " dropped (cap " << rt.tracer().capacity()
@@ -133,14 +138,16 @@ std::string format_report_json(Runtime& rt) {
     w.end_object();
     w.end_object();
   }
-  std::size_t host_used = 0, gpu_used = 0;
+  std::size_t host_used = 0, gpu_used = 0, pmem_used = 0;
   for (int pe = 0; pe < rt.num_pes(); ++pe) {
     host_used += rt.heap(pe, Domain::kHost).used();
     gpu_used += rt.heap(pe, Domain::kGpu).used();
+    pmem_used += rt.heap(pe, Domain::kPmem).used();
   }
   w.key("heap").begin_object();
   w.field("host_used_bytes", static_cast<std::uint64_t>(host_used));
   w.field("gpu_used_bytes", static_cast<std::uint64_t>(gpu_used));
+  w.field("pmem_used_bytes", static_cast<std::uint64_t>(pmem_used));
   w.end_object();
   w.key("trace").begin_object();
   w.field("enabled", rt.tracer().enabled());
@@ -168,6 +175,9 @@ std::string format_report_json(Runtime& rt) {
     w.field("sum", h.sum());
     w.field("min", h.min());
     w.field("max", h.max());
+    w.field("p50", h.percentile(0.50));
+    w.field("p99", h.percentile(0.99));
+    w.field("p999", h.percentile(0.999));
     // Sparse bins as [floor, count] pairs — 65 mostly-empty slots would
     // dwarf the payload.
     w.key("bins").begin_array();

@@ -67,11 +67,25 @@ Runtime::Runtime(const hw::ClusterConfig& cluster_cfg, const RuntimeOptions& opt
     auto* gpu_base = static_cast<std::byte*>(
         cuda_.malloc_device(pl.node, pl.gpu, opts_.gpu_heap_bytes));
     std::memset(gpu_base, 0, opts_.gpu_heap_bytes);
+    // Optional pmem heap (off by default): plain host memory in the model —
+    // host-like on the wire — with durable semantics asserted by the
+    // checkpoint service. Zero size leaves a null heap so contains() is
+    // always false and shmalloc(kPmem) reports exhaustion.
+    std::byte* pmem_base = nullptr;
+    if (opts_.pmem_heap_bytes > 0) {
+      pmem_heap_storage_.push_back(
+          std::make_unique<std::byte[]>(opts_.pmem_heap_bytes));
+      pmem_base = pmem_heap_storage_.back().get();
+    }
     heaps_.push_back(PeHeaps{
         SymmetricHeap(Domain::kHost, host_base, opts_.host_heap_bytes),
-        SymmetricHeap(Domain::kGpu, gpu_base, opts_.gpu_heap_bytes)});
+        SymmetricHeap(Domain::kGpu, gpu_base, opts_.gpu_heap_bytes),
+        SymmetricHeap(Domain::kPmem, pmem_base, opts_.pmem_heap_bytes)});
     verbs_.reg_cache().register_at_init(pe, host_base, opts_.host_heap_bytes);
     verbs_.reg_cache().register_at_init(pe, gpu_base, opts_.gpu_heap_bytes);
+    if (pmem_base != nullptr) {
+      verbs_.reg_cache().register_at_init(pe, pmem_base, opts_.pmem_heap_bytes);
+    }
   }
 
   // Eager slot regions (baseline transport): one slot per source PE.
@@ -178,7 +192,8 @@ void* Runtime::translate(const void* sym, int owner_pe, int target_pe,
   auto& own = heaps_.at(static_cast<std::size_t>(owner_pe));
   auto& tgt = heaps_.at(static_cast<std::size_t>(target_pe));
   for (auto [mine, theirs] : {std::pair{&own.host, &tgt.host},
-                              std::pair{&own.gpu, &tgt.gpu}}) {
+                              std::pair{&own.gpu, &tgt.gpu},
+                              std::pair{&own.pmem, &tgt.pmem}}) {
     if (mine->contains(sym)) {
       std::size_t off = mine->offset_of(sym);
       if (off + n > mine->size()) {
@@ -249,13 +264,15 @@ void Runtime::snapshot_metrics() {
     metrics_.counter("proxy/device_cmds_served").set(device_cmds);
     metrics_.counter("proxy/restarts").set(restarts);
   }
-  std::size_t host_used = 0, gpu_used = 0;
+  std::size_t host_used = 0, gpu_used = 0, pmem_used = 0;
   for (const PeHeaps& hs : heaps_) {
     host_used += hs.host.used();
     gpu_used += hs.gpu.used();
+    pmem_used += hs.pmem.used();
   }
   metrics_.gauge("heap/host_used_bytes").set(host_used);
   metrics_.gauge("heap/gpu_used_bytes").set(gpu_used);
+  metrics_.gauge("heap/pmem_used_bytes").set(pmem_used);
   // Engine scale diagnostics: queue/slot-pool high-water marks reveal the
   // peak burst size (O(PE count) on a barrier release); retained_bytes
   // should return to near zero after release-on-quiescence.

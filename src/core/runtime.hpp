@@ -34,6 +34,10 @@ class DeviceBackend;
 struct RuntimeOptions {
   std::size_t host_heap_bytes = 16u << 20;
   std::size_t gpu_heap_bytes = 16u << 20;
+  /// Persistent (pmem) symmetric heap per PE (GDRSHMEM_PMEM_HEAP; 0 — the
+  /// default — means no pmem heap, so shmalloc(Domain::kPmem) throws).
+  /// Host-like on the wire; backs the checkpoint service's durable store.
+  std::size_t pmem_heap_bytes = 0;
   TransportKind transport = TransportKind::kEnhancedGdr;
   Tuning tuning;
   /// Execution backend for the simulation engine (fibers by default;
@@ -175,7 +179,12 @@ class Runtime {
 
   SymmetricHeap& heap(int pe, Domain d) {
     auto& hs = heaps_.at(static_cast<std::size_t>(pe));
-    return d == Domain::kHost ? hs.host : hs.gpu;
+    switch (d) {
+      case Domain::kGpu: return hs.gpu;
+      case Domain::kPmem: return hs.pmem;
+      case Domain::kHost: break;
+    }
+    return hs.host;
   }
 
   /// Translate a symmetric address owned by `owner_pe` into `target_pe`'s
@@ -206,6 +215,7 @@ class Runtime {
   struct PeHeaps {
     SymmetricHeap host;
     SymmetricHeap gpu;
+    SymmetricHeap pmem;
   };
   struct AllocRecord {
     std::size_t bytes;
@@ -224,6 +234,7 @@ class Runtime {
   Metrics metrics_;
 
   std::vector<std::unique_ptr<std::byte[]>> host_heap_storage_;
+  std::vector<std::unique_ptr<std::byte[]>> pmem_heap_storage_;
   std::vector<PeHeaps> heaps_;
   std::vector<std::unique_ptr<std::byte[]>> eager_storage_;
   std::vector<std::unique_ptr<Ctx>> ctxs_;

@@ -22,8 +22,12 @@ class UnsupportedError : public ShmemError {
 };
 
 /// Symmetric-heap domain, the paper's extension to shmalloc: where the
-/// allocation lives (host DRAM or GPU device memory).
-enum class Domain { kHost, kGpu };
+/// allocation lives. kHost and kGpu are the paper's two domains; kPmem is a
+/// persistent region on the host memory bus (NVDIMM-style, Portus's
+/// checkpoint store) — host-like on the wire, durable in semantics: bytes
+/// acknowledged by quiet() survive proxy crashes and reroutes. Sized by
+/// GDRSHMEM_PMEM_HEAP (0 = no pmem heap).
+enum class Domain { kHost, kGpu, kPmem };
 
 /// Which runtime design services communication.
 enum class TransportKind {
@@ -42,7 +46,12 @@ inline const char* to_string(TransportKind k) {
 }
 
 inline const char* to_string(Domain d) {
-  return d == Domain::kHost ? "host" : "gpu";
+  switch (d) {
+    case Domain::kHost: return "host";
+    case Domain::kGpu: return "gpu";
+    case Domain::kPmem: return "pmem";
+  }
+  return "?";
 }
 
 /// Which engine services device-initiated (in-kernel) operations.
